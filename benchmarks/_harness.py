@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one of the reproduction experiments
+(E1-E12 in DESIGN.md): it times the synthesis with ``pytest-benchmark`` and
+writes the measured table both to stdout and to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit_table(name: str, text: str) -> None:
+    """Print a reproduction table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[table written to {path}]")

@@ -1,0 +1,26 @@
+"""E11 — ancilla usage: ours (≤1, borrowed/clean) vs ⌈(k−2)/(d−2)⌉ clean."""
+
+from __future__ import annotations
+
+from repro import synthesize_mct
+from repro.bench import ancilla_count_rows, render_table
+
+from _harness import emit_table
+
+
+def test_table_e11_ancilla_counts(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ancilla_count_rows([3, 4, 5, 6], [2, 4, 8, 12, 16]), rounds=1, iterations=1
+    )
+    table = render_table(
+        rows,
+        title="E11: ancilla usage — this paper vs the clean-ancilla ladder [5,23] and Bullock et al. [5]",
+    )
+    emit_table("E11_ancilla_counts", table)
+    assert all(row["ours_ancillas"] <= 1 for row in rows)
+    big_k = [row for row in rows if row["k"] == 16]
+    assert all(row["baseline_clean_ancillas"] >= row["ours_ancillas"] for row in big_k)
+
+
+def test_benchmark_large_k_synthesis(benchmark):
+    benchmark(lambda: synthesize_mct(3, 16))

@@ -1,0 +1,60 @@
+"""E10 — fault-tolerant (Clifford+T) cost on qutrits: O(k) vs O(k^3.585)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import synthesize_mct
+from repro.bench import cliffordt_rows, render_table
+from repro.resources import clifford_t_cost, yeh_vdw_reversible_model
+
+from _harness import emit_table
+
+
+def test_table_e10_cliffordt_toffoli(benchmark):
+    rows = benchmark.pedantic(
+        lambda: cliffordt_rows([2, 3, 4, 6, 8, 10, 14, 20]), rounds=1, iterations=1
+    )
+    table = render_table(
+        rows,
+        title="E10: qutrit k-Toffoli Clifford+T cost — this paper (measured, O(k)) vs Yeh & vdW model (O(k^3.585))",
+    )
+    emit_table("E10_cliffordt", table)
+    # The paper's improvement is asymptotic: our measured cost grows linearly
+    # while the [24] model grows like k^3.585, so the model/ours ratio rises
+    # monotonically (past the small-k transient) and crosses 1 — with this
+    # implementation's constants the crossover lands before k = 20.
+    ratios = [row["ratio_model/ours"] for row in rows[2:]]
+    assert all(b >= a for a, b in zip(ratios, ratios[1:]))
+    assert rows[-1]["yeh_vdw_model_total"] > rows[-1]["ours_total"]
+
+
+def test_table_e10_reversible_cliffordt():
+    rows = []
+    for n in (1, 2, 3):
+        from repro.applications import random_reversible_function, synthesize_reversible_function
+
+        table_fn = random_reversible_function(3, n, seed=n)
+        result = synthesize_reversible_function(3, n, table_fn)
+        cost = clifford_t_cost(result.circuit)
+        rows.append(
+            {
+                "n": n,
+                "ours_total": cost.total(),
+                "ours_T": cost.t_count,
+                "yeh_vdw_model": int(yeh_vdw_reversible_model(n)),
+                "ancillas": result.ancilla_count(),
+            }
+        )
+    table = render_table(
+        rows,
+        title="E10 (cont.): ternary reversible functions — ancilla-free Clifford+T, ours vs O(3^n n^3.585) model",
+    )
+    emit_table("E10_cliffordt_reversible", table)
+    assert all(row["ancillas"] == 0 for row in rows)
+
+
+@pytest.mark.parametrize("k", [4, 8])
+def test_benchmark_cliffordt_costing(benchmark, k):
+    result = synthesize_mct(3, k)
+    benchmark(lambda: clifford_t_cost(result.circuit))

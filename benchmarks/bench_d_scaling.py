@@ -1,0 +1,30 @@
+"""E4 — k-Toffoli size vs the qudit dimension d (poly(d) factor of the bound)."""
+
+from __future__ import annotations
+
+from repro.bench import render_table, toffoli_scaling_rows
+
+from _harness import emit_table
+
+
+def test_table_e4_dimension_scaling(benchmark):
+    rows = benchmark.pedantic(
+        lambda: toffoli_scaling_rows([3, 4, 5, 6, 7, 8, 9], [6]), rounds=1, iterations=1
+    )
+    table = render_table(
+        [
+            {key: row[key] for key in ("d", "parity", "k", "g_gates", "macro_ops")}
+            for row in rows
+        ],
+        title="E4: k = 6 Toffoli G-gate count vs dimension d (O(k·d^3) bound)",
+    )
+    emit_table("E4_d_scaling", table)
+    odd = {row["d"]: row["g_gates"] for row in rows if row["parity"] == "odd"}
+    # poly(d) growth: going from d=3 to d=9 must stay far below exponential 3^(9-3).
+    assert odd[9] < odd[3] * (9 / 3) ** 5
+
+
+def test_benchmark_d7_synthesis(benchmark):
+    from repro import synthesize_mct
+
+    benchmark(lambda: synthesize_mct(7, 6))

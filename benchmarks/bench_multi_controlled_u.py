@@ -1,0 +1,27 @@
+"""E6 — |0^k⟩-U with one clean ancilla (Fig. 1(b))."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import random_unitary_gate, synthesize_mcu
+from repro.bench import mcu_rows, render_table
+
+from _harness import emit_table
+
+
+def test_table_e6_mcu(benchmark):
+    rows = benchmark.pedantic(
+        lambda: mcu_rows([3, 4], [2, 3, 4, 5, 6, 8]), rounds=1, iterations=1
+    )
+    table = render_table(
+        rows, title="E6: |0^k⟩-U synthesis — size and the single clean ancilla (Fig. 1b)"
+    )
+    emit_table("E6_multi_controlled_u", table)
+    assert all(row["clean_ancillas"] == 1 for row in rows)
+
+
+@pytest.mark.parametrize("dim,k", [(3, 6), (4, 6)])
+def test_benchmark_mcu(benchmark, dim, k):
+    gate = random_unitary_gate(dim, seed=k)
+    benchmark(lambda: synthesize_mcu(dim, k, gate))

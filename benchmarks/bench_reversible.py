@@ -1,0 +1,40 @@
+"""E8/E9 — classical reversible functions (Theorem IV.2) and the Lemma IV.3
+lower bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications import random_reversible_function, synthesize_reversible_function
+from repro.baselines import reversible_function_models
+from repro.bench import render_table, reversible_rows
+
+from _harness import emit_table
+
+
+def test_table_e8_e9_reversible_functions(benchmark):
+    rows = benchmark.pedantic(
+        lambda: reversible_rows([3, 4, 5], [1, 2, 3], lower=False), rounds=1, iterations=1
+    )
+    # Attach the analytic comparison models (Yeh & vdW, lower bound constant).
+    for row in rows:
+        models = reversible_function_models(row["d"], row["n"])
+        row["yeh_vdw_model"] = int(models["Yeh & vdW O(d^n n^3.585)"])
+    table = render_table(
+        rows,
+        title=(
+            "E8/E9: n-variable d-ary reversible functions — measured size vs the "
+            "n·d^n bound and the Lemma IV.3 lower bound (ancilla-free for odd d)"
+        ),
+    )
+    emit_table("E8_E9_reversible", table)
+    odd_rows = [r for r in rows if r["d"] % 2 == 1]
+    assert all(r["ancillas"] == 0 for r in odd_rows)
+    even_rows = [r for r in rows if r["d"] % 2 == 0 and r["n"] >= 3]
+    assert all(r["ancillas"] == 1 for r in even_rows)
+
+
+@pytest.mark.parametrize("dim,n", [(3, 3), (4, 3)])
+def test_benchmark_reversible_synthesis(benchmark, dim, n):
+    table = random_reversible_function(dim, n, seed=1)
+    benchmark(lambda: synthesize_reversible_function(dim, n, table))

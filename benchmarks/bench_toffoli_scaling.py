@@ -1,0 +1,44 @@
+"""E1/E2/E3 — k-Toffoli size vs k for odd and even d (Theorems III.2, III.6).
+
+Regenerates the paper's headline claim as a measured table: the G-gate count
+of the k-controlled Toffoli grows linearly in k, with zero ancillas for odd
+d and exactly one borrowed ancilla for even d.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import synthesize_mct
+from repro.bench import linearity_summary, render_table, toffoli_scaling_rows
+
+from _harness import emit_table
+
+ODD_DIMS = [3, 5]
+EVEN_DIMS = [4, 6]
+KS = list(range(2, 9))
+
+
+def test_table_e1_e2_toffoli_scaling(benchmark):
+    rows = benchmark.pedantic(
+        lambda: toffoli_scaling_rows(ODD_DIMS + EVEN_DIMS, KS), rounds=1, iterations=1
+    )
+    table = render_table(
+        [
+            {key: row[key] for key in ("d", "parity", "k", "g_gates", "two_qudit_gates", "macro_ops", "depth")}
+            for row in rows
+        ],
+        title="E1/E2: k-Toffoli G-gate count vs k (odd d: 0 ancillas, even d: 1 borrowed)",
+    )
+    summary = render_table(
+        linearity_summary(rows), title="E3: per-step growth (flat increments = linear size)"
+    )
+    emit_table("E1_E2_toffoli_scaling", table + "\n\n" + summary)
+    assert all(row["g_gates"] > 0 for row in rows)
+
+
+@pytest.mark.parametrize("dim,k", [(3, 8), (4, 8), (5, 6)])
+def test_benchmark_synthesis_time(benchmark, dim, k):
+    """Wall-clock time of the macro-level synthesis itself."""
+    result = benchmark(lambda: synthesize_mct(dim, k))
+    assert result.circuit.num_ops() > 0

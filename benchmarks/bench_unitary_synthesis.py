@@ -1,0 +1,31 @@
+"""E7 — unitary synthesis with one clean ancilla (Theorem IV.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications import random_unitary, synthesize_unitary
+from repro.bench import render_table, unitary_synthesis_rows
+
+from _harness import emit_table
+
+CASES = [(3, 1, 11), (3, 2, 12), (3, 3, 13), (4, 1, 14), (4, 2, 15), (5, 2, 16)]
+
+
+def test_table_e7_unitary_synthesis(benchmark):
+    rows = benchmark.pedantic(lambda: unitary_synthesis_rows(CASES), rounds=1, iterations=1)
+    table = render_table(
+        rows,
+        title="E7: n-qudit unitary synthesis — gate count vs d^{2n}, ancillas ours (1) vs Bullock ⌈(n−2)/(d−2)⌉",
+    )
+    emit_table("E7_unitary_synthesis", table)
+    assert all(row["clean_ancillas_ours"] <= 1 for row in rows)
+    assert all(
+        row["clean_ancillas_ours"] <= max(row["clean_ancillas_bullock"], 1) for row in rows
+    )
+
+
+@pytest.mark.parametrize("dim,n", [(3, 2), (4, 2)])
+def test_benchmark_unitary_synthesis(benchmark, dim, n):
+    unitary = random_unitary(dim**n, seed=7)
+    benchmark(lambda: synthesize_unitary(unitary, dim, n))

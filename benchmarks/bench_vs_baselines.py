@@ -1,0 +1,44 @@
+"""E5 — comparison against prior work (the paper's introduction table).
+
+Measured rows for this paper and the clean-ancilla ladder baseline, analytic
+rows for Di & Wei [20], Yeh & van de Wetering [24] and the exponential
+ancilla-free synthesis [25].
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import synthesize_mct_clean_ladder, synthesize_mcu_exponential
+from repro.bench import baseline_comparison_rows, render_table
+
+from _harness import emit_table
+
+
+def test_table_e5_baseline_comparison(benchmark):
+    def build():
+        rows = []
+        for dim in (3, 4, 5):
+            rows.extend(baseline_comparison_rows(dim, [2, 4, 6, 8, 10]))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = render_table(
+        rows, title="E5: k-Toffoli cost, this paper vs prior work (measured + analytic models)"
+    )
+    emit_table("E5_vs_baselines", table)
+    ours = [r for r in rows if r["method"].startswith("this paper (measured)")]
+    exponential = [r for r in rows if "exponential" in r["method"]]
+    assert all(r["ancillas"] <= 1 for r in ours)
+    big_k = [r for r in exponential if r["k"] == 10]
+    assert all(r["two_qudit_gates"] >= 1024 for r in big_k)
+
+
+@pytest.mark.parametrize("k", [4, 6, 8])
+def test_benchmark_clean_ladder(benchmark, k):
+    benchmark(lambda: synthesize_mct_clean_ladder(3, k))
+
+
+@pytest.mark.parametrize("k", [4, 6, 8])
+def test_benchmark_exponential_baseline(benchmark, k):
+    benchmark(lambda: synthesize_mcu_exponential(3, k))

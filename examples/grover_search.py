@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""d-ary Grover search using the paper's multi-controlled gates.
+
+Grover's algorithm over qudits is one of the applications the paper lists
+for its synthesis (the oracle and the diffusion operator are both
+multi-controlled gates).  The example runs the full algorithm on the dense
+statevector simulator for a 2- and a 3-qutrit search space and reports the
+success probability after the usual ``⌊π/4·√N⌋`` iterations, together with
+the size of the compiled circuit.
+
+Run with ``python examples/grover_search.py``.
+"""
+
+from __future__ import annotations
+
+from repro import count_gates
+from repro.applications import grover_circuit, optimal_iterations, run_grover
+
+
+def main() -> None:
+    for dim, n, marked in [(3, 2, (2, 1)), (3, 3, (1, 0, 2))]:
+        outcome = run_grover(dim, n, marked)
+        circuit = grover_circuit(dim, n, marked).circuit
+        counts = count_gates(circuit, lower=False)
+        print(f"== Grover search: d = {dim}, n = {n}, marked = {marked} ==")
+        print(f"  search-space size      : {dim ** n}")
+        print(f"  iterations             : {optimal_iterations(dim, n)}")
+        print(f"  success probability    : {outcome.success_probability:.3f}")
+        print(f"  random-guess probability: {outcome.uniform_probability:.3f}")
+        print(f"  circuit operations     : {counts.macro_ops}")
+        print(f"  clean ancillas         : {1 if n >= 3 else 0}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

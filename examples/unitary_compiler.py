@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Compiling arbitrary qudit unitaries with one clean ancilla (Theorem IV.1).
+
+The example draws Haar-random unitaries on one and two qutrits, compiles
+them through the two-level decomposition plus the paper's one-clean-ancilla
+multi-controlled gates, verifies the result against the dense matrix, and
+compares the ancilla count with the original Bullock et al. synthesis
+(``⌈(n−2)/(d−2)⌉`` clean ancillas).
+
+Run with ``python examples/unitary_compiler.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import count_gates
+from repro.applications import bullock_ancilla_count, random_unitary, synthesize_unitary
+from repro.sim import assert_unitary_equiv
+
+
+def main() -> None:
+    for dim, n, seed in [(3, 1, 1), (3, 2, 2), (4, 2, 3)]:
+        unitary = random_unitary(dim**n, seed=seed)
+        result = synthesize_unitary(unitary, dim, n)
+        assert_unitary_equiv(result.circuit, unitary, atol=1e-7)
+        counts = count_gates(result, lower=False)
+        print(f"== Haar-random unitary on {n} qudit(s), d = {dim} ==")
+        print(f"  matrix size             : {dim ** n} x {dim ** n}")
+        print(f"  verified                : yes (max deviation < 1e-7)")
+        print(f"  circuit operations      : {counts.macro_ops}")
+        print(f"  d^(2n) reference        : {dim ** (2 * n)}")
+        print(f"  clean ancillas (ours)   : {result.ancilla_count()}")
+        print(f"  clean ancillas (Bullock): {bullock_ancilla_count(dim, n)}")
+        print()
+
+    # A structured 3-qutrit example exercising the clean ancilla: a two-level
+    # rotation between |000⟩ and |222⟩.
+    from repro.applications import TwoLevelUnitary
+
+    block = np.array([[np.cos(0.3), -np.sin(0.3)], [np.sin(0.3), np.cos(0.3)]])
+    unitary = TwoLevelUnitary(0, 26, block).embed(27)
+    result = synthesize_unitary(unitary, 3, 3)
+    print("== Two-level rotation between |000⟩ and |222⟩ (d = 3, n = 3) ==")
+    print(f"  circuit operations      : {result.circuit.num_ops()}")
+    print(f"  clean ancillas (ours)   : {result.ancilla_count()}  (Theorem IV.1: always 1)")
+    print(f"  clean ancillas (Bullock): {bullock_ancilla_count(3, 3)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline build environment has no ``wheel`` package, so PEP 517 editable
+installs (which go through ``bdist_wheel``) are not available.  This shim
+lets ``pip install -e . --no-use-pep517`` (and plain ``python setup.py
+develop``) work; all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

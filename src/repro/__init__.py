@@ -1,0 +1,70 @@
+"""repro — reproduction of "Optimal Synthesis of Multi-Controlled Qudit Gates".
+
+The package reproduces the DAC 2023 paper by Zi, Li and Sun: linear-size
+synthesis of multi-controlled gates on d-level qudits using at most one
+ancilla, together with its applications (unitary synthesis with one clean
+ancilla, ancilla-free implementation of classical reversible functions) and
+the prior-work baselines the paper compares against.
+
+Quick start
+-----------
+>>> from repro import synthesize_mct, verify
+>>> result = synthesize_mct(dim=3, num_controls=4)      # ancilla-free, odd d
+>>> verify.assert_mct_spec(result.circuit, result.controls, result.target)
+>>> result.circuit.num_ops()                            # doctest: +SKIP
+"""
+
+from repro.core import (
+    GateCountReport,
+    count_gates,
+    lower_to_g_gates,
+    mct_ops,
+    mcu_ops,
+    random_unitary_gate,
+    synthesize_mct,
+    synthesize_mcu,
+    synthesize_pk,
+)
+from repro.qudit import (
+    AncillaKind,
+    EvenNonZero,
+    Odd,
+    Operation,
+    QuditCircuit,
+    SingleQuditUnitary,
+    StarShiftOp,
+    SynthesisResult,
+    Value,
+    XPerm,
+    XPlus,
+    draw,
+)
+from repro import sim as verify
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GateCountReport",
+    "count_gates",
+    "lower_to_g_gates",
+    "mct_ops",
+    "mcu_ops",
+    "random_unitary_gate",
+    "synthesize_mct",
+    "synthesize_mcu",
+    "synthesize_pk",
+    "AncillaKind",
+    "EvenNonZero",
+    "Odd",
+    "Operation",
+    "QuditCircuit",
+    "SingleQuditUnitary",
+    "StarShiftOp",
+    "SynthesisResult",
+    "Value",
+    "XPerm",
+    "XPlus",
+    "draw",
+    "verify",
+    "__version__",
+]

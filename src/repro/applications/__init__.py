@@ -1,0 +1,71 @@
+"""Applications of the paper's synthesis (Section IV and cited use cases)."""
+
+from repro.applications.arithmetic import (
+    add_constant_ops,
+    controlled_increment_ops,
+    increment_ops,
+    increment_reference,
+    synthesize_increment,
+)
+from repro.applications.grover import (
+    GroverOutcome,
+    diffusion_ops,
+    fourier_gate,
+    grover_circuit,
+    optimal_iterations,
+    oracle_ops,
+    phase_flip_gate,
+    run_grover,
+)
+from repro.applications.lower_bound import (
+    LowerBoundReport,
+    distinct_g_gates,
+    reversible_lower_bound,
+)
+from repro.applications.reversible import (
+    function_to_index_permutation,
+    index_permutation_to_two_cycles,
+    random_reversible_function,
+    synthesize_reversible_function,
+    two_cycle_ops,
+)
+from repro.applications.two_level import (
+    TwoLevelUnitary,
+    reconstruct,
+    two_level_decomposition,
+)
+from repro.applications.unitary_synthesis import (
+    bullock_ancilla_count,
+    random_unitary,
+    synthesize_unitary,
+)
+
+__all__ = [
+    "add_constant_ops",
+    "controlled_increment_ops",
+    "increment_ops",
+    "increment_reference",
+    "synthesize_increment",
+    "GroverOutcome",
+    "diffusion_ops",
+    "fourier_gate",
+    "grover_circuit",
+    "optimal_iterations",
+    "oracle_ops",
+    "phase_flip_gate",
+    "run_grover",
+    "LowerBoundReport",
+    "distinct_g_gates",
+    "reversible_lower_bound",
+    "function_to_index_permutation",
+    "index_permutation_to_two_cycles",
+    "random_reversible_function",
+    "synthesize_reversible_function",
+    "two_cycle_ops",
+    "TwoLevelUnitary",
+    "reconstruct",
+    "two_level_decomposition",
+    "bullock_ancilla_count",
+    "random_unitary",
+    "synthesize_unitary",
+]

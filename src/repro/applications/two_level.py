@@ -1,0 +1,123 @@
+"""Two-level decomposition of unitary matrices.
+
+The Bullock–O'Leary–Brennen synthesis (and Theorem IV.1, which improves its
+ancilla count) starts from the classical fact that any ``N x N`` unitary is a
+product of at most ``N(N−1)/2`` *two-level* unitaries — matrices that act
+non-trivially only on a two-dimensional subspace spanned by a pair of
+computational basis states.  This module implements that decomposition from
+scratch (Givens-style column elimination on numpy arrays).
+
+The returned factors satisfy, in circuit order,
+
+    ``U = product(factor.embed(N) for factor in factors)``
+
+i.e. applying the factors left-to-right reproduces ``U``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import GateError
+
+
+@dataclass
+class TwoLevelUnitary:
+    """A unitary acting only on basis states ``index_a < index_b``.
+
+    ``block`` is the 2x2 unitary acting on ``span{|index_a⟩, |index_b⟩}``
+    (row/column order ``[index_a, index_b]``).
+    """
+
+    index_a: int
+    index_b: int
+    block: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.index_a == self.index_b:
+            raise GateError("a two-level unitary needs two distinct basis states")
+        if self.index_a > self.index_b:
+            raise GateError("two-level indices must be ordered (index_a < index_b)")
+        self.block = np.asarray(self.block, dtype=complex)
+        if self.block.shape != (2, 2):
+            raise GateError("the two-level block must be a 2x2 matrix")
+        if not np.allclose(self.block @ self.block.conj().T, np.eye(2), atol=1e-9):
+            raise GateError("the two-level block is not unitary")
+
+    def embed(self, size: int) -> np.ndarray:
+        """Embed the 2x2 block into an ``size x size`` identity."""
+        matrix = np.eye(size, dtype=complex)
+        a, b = self.index_a, self.index_b
+        matrix[a, a] = self.block[0, 0]
+        matrix[a, b] = self.block[0, 1]
+        matrix[b, a] = self.block[1, 0]
+        matrix[b, b] = self.block[1, 1]
+        return matrix
+
+    def is_identity(self, atol: float = 1e-12) -> bool:
+        return bool(np.allclose(self.block, np.eye(2), atol=atol))
+
+
+def two_level_decomposition(unitary: np.ndarray, atol: float = 1e-11) -> List[TwoLevelUnitary]:
+    """Decompose ``unitary`` into two-level unitaries (circuit order).
+
+    The algorithm eliminates the sub-diagonal entries of each column with
+    Givens-style rotations ``G`` so that ``G_m ... G_1 U = D`` with ``D``
+    diagonal (a pure phase per basis state); the factors returned are the
+    inverse rotations followed by the diagonal phases (each diagonal phase is
+    itself emitted as a two-level unitary touching one extra basis state, or
+    dropped when it is the identity).
+    """
+    matrix = np.asarray(unitary, dtype=complex).copy()
+    size = matrix.shape[0]
+    if matrix.shape != (size, size):
+        raise GateError("unitary must be square")
+    if not np.allclose(matrix @ matrix.conj().T, np.eye(size), atol=1e-8):
+        raise GateError("matrix is not unitary")
+
+    eliminations: List[TwoLevelUnitary] = []
+    for column in range(size - 1):
+        for row in range(size - 1, column, -1):
+            a = matrix[column, column]
+            b = matrix[row, column]
+            if abs(b) <= atol:
+                continue
+            norm = np.sqrt(abs(a) ** 2 + abs(b) ** 2)
+            # Rotation sending (a, b) -> (norm, 0).
+            rotation = np.array(
+                [[np.conj(a) / norm, np.conj(b) / norm], [-b / norm, a / norm]],
+                dtype=complex,
+            )
+            gate = TwoLevelUnitary(column, row, rotation)
+            matrix = gate.embed(size) @ matrix
+            eliminations.append(gate)
+
+    factors: List[TwoLevelUnitary] = [
+        TwoLevelUnitary(g.index_a, g.index_b, g.block.conj().T) for g in reversed(eliminations)
+    ]
+
+    # ``matrix`` is now diagonal (phases).  Emit each non-trivial phase as a
+    # two-level diagonal unitary so downstream synthesis only ever deals with
+    # two-level factors.
+    phases = np.diag(matrix)
+    for index in range(size):
+        phase = phases[index]
+        if abs(phase - 1.0) <= atol:
+            continue
+        partner = (index + 1) % size
+        low, high = min(index, partner), max(index, partner)
+        block = np.eye(2, dtype=complex)
+        block[0 if index == low else 1, 0 if index == low else 1] = phase
+        factors.insert(0, TwoLevelUnitary(low, high, block))
+    return factors
+
+
+def reconstruct(factors: List[TwoLevelUnitary], size: int) -> np.ndarray:
+    """Multiply the factors back together (circuit order) — used in tests."""
+    matrix = np.eye(size, dtype=complex)
+    for factor in factors:
+        matrix = factor.embed(size) @ matrix
+    return matrix

@@ -1,0 +1,41 @@
+"""Prior-work baselines the paper compares against."""
+
+from repro.baselines.ancilla_free_exponential import (
+    commutator_factors,
+    mcu_exponential_ops,
+    synthesize_mcu_exponential,
+    toffoli_payload_su,
+)
+from repro.baselines.clean_ancilla_ladder import (
+    clean_ancilla_count,
+    mct_clean_ladder_ops,
+    synthesize_mct_clean_ladder,
+)
+from repro.baselines.cost_models import (
+    MODEL_REGISTRY,
+    CostEstimate,
+    di_wei_model,
+    moraga_exponential_model,
+    reversible_function_models,
+    standard_clean_ancilla_model,
+    this_paper_model,
+    yeh_vdw_model,
+)
+
+__all__ = [
+    "commutator_factors",
+    "mcu_exponential_ops",
+    "synthesize_mcu_exponential",
+    "toffoli_payload_su",
+    "clean_ancilla_count",
+    "mct_clean_ladder_ops",
+    "synthesize_mct_clean_ladder",
+    "MODEL_REGISTRY",
+    "CostEstimate",
+    "di_wei_model",
+    "moraga_exponential_model",
+    "reversible_function_models",
+    "standard_clean_ancilla_model",
+    "this_paper_model",
+    "yeh_vdw_model",
+]

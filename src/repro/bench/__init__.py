@@ -1,0 +1,26 @@
+"""Benchmark-harness helpers: table builders and plain-text rendering."""
+
+from repro.bench.formatting import render_series, render_table
+from repro.bench.tables import (
+    ancilla_count_rows,
+    baseline_comparison_rows,
+    cliffordt_rows,
+    linearity_summary,
+    mcu_rows,
+    reversible_rows,
+    toffoli_scaling_rows,
+    unitary_synthesis_rows,
+)
+
+__all__ = [
+    "render_series",
+    "render_table",
+    "ancilla_count_rows",
+    "baseline_comparison_rows",
+    "cliffordt_rows",
+    "linearity_summary",
+    "mcu_rows",
+    "reversible_rows",
+    "toffoli_scaling_rows",
+    "unitary_synthesis_rows",
+]

@@ -1,0 +1,60 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmarks print the reproduction tables/series directly to stdout (the
+paper itself has no numeric tables — its claims are asymptotic — so the
+harness materialises them as measured tables; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def render_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no data)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {col: len(str(col)) for col in columns}
+    for row in rows:
+        for col in columns:
+            widths[col] = max(widths[col], len(_fmt(row.get(col, ""))))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(" | ".join(_fmt(row.get(col, "")).ljust(widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def render_series(series: Dict[str, Iterable[float]], x_label: str, title: str = "") -> str:
+    """Render named series (e.g. gate count vs k) as a compact table."""
+    keys = list(series.keys())
+    if not keys:
+        return f"{title}\n(no data)"
+    length = len(list(series[keys[0]]))
+    rows = []
+    for index in range(length):
+        row: Dict[str, object] = {x_label: index}
+        for key in keys:
+            values = list(series[key])
+            row[key] = values[index] if index < len(values) else ""
+        rows.append(row)
+    return render_table(rows, title=title)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

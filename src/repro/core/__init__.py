@@ -1,0 +1,67 @@
+"""Core synthesis algorithms of the paper (Section III)."""
+
+from repro.core.gate_counts import GateCountReport, count_gates
+from repro.core.lambda_ladder import (
+    ladder_even,
+    ladder_odd,
+    multi_controlled_payload_even_ops,
+    multi_controlled_shift_ops,
+    multi_controlled_star_ops,
+)
+from repro.core.lowering import lower_to_g_gates
+from repro.core.multi_controlled_unitary import (
+    mcu_ops,
+    random_unitary_gate,
+    synthesize_mcu,
+)
+from repro.core.pk import (
+    pk_h,
+    pk_ladder,
+    pk_map,
+    pk_one_ancilla,
+    synthesize_pk,
+)
+from repro.core.single_controlled import (
+    controlled_permutation_g_ops,
+    controlled_transposition_g_ops,
+)
+from repro.core.toffoli import mct_ops, synthesize_mct
+from repro.core.toffoli_even import mct_even_ops, synthesize_mct_even
+from repro.core.toffoli_odd import mct_odd_ops, synthesize_mct_odd
+from repro.core.two_controlled import (
+    even_two_controlled_transposition_ops,
+    odd_two_controlled_x01_ops,
+    two_controlled_permutation_ops,
+    two_controlled_transposition_ops,
+)
+
+__all__ = [
+    "GateCountReport",
+    "count_gates",
+    "ladder_even",
+    "ladder_odd",
+    "multi_controlled_payload_even_ops",
+    "multi_controlled_shift_ops",
+    "multi_controlled_star_ops",
+    "lower_to_g_gates",
+    "mcu_ops",
+    "random_unitary_gate",
+    "synthesize_mcu",
+    "pk_h",
+    "pk_ladder",
+    "pk_map",
+    "pk_one_ancilla",
+    "synthesize_pk",
+    "controlled_permutation_g_ops",
+    "controlled_transposition_g_ops",
+    "mct_ops",
+    "synthesize_mct",
+    "mct_even_ops",
+    "synthesize_mct_even",
+    "mct_odd_ops",
+    "synthesize_mct_odd",
+    "even_two_controlled_transposition_ops",
+    "odd_two_controlled_x01_ops",
+    "two_controlled_permutation_ops",
+    "two_controlled_transposition_ops",
+]

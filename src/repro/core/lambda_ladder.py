@@ -1,0 +1,277 @@
+"""The "Λ"-shaped ladders of Figs. 3 and 7.
+
+Both the even-``d`` and the odd-``d`` syntheses first build the
+multi-controlled gate with ``k − 2`` *garbage* ancillas using a ladder whose
+layers peel off one control at a time, and then append the reverse of the
+ladder body so that the garbage ancillas become *borrowed* ancillas:
+
+* **odd d** (Fig. 7, Lemma III.4): layer ``r`` surrounds layer ``r − 1`` with
+  a ``|⋆⟩|0⟩-X−⋆`` gate on the left and a ``|⋆⟩|0⟩-X+⋆`` gate on the right.
+  The pair transfers exactly the increment that the inner layer applied to
+  its target onto the next wire, and only when the newly added control is
+  ``|0⟩``.  The base case is a two-controlled gate supplied by the caller
+  (``|00⟩-X+1`` for Lemma III.4, ``|⋆⟩|0⟩-X±⋆`` for the multi-controlled
+  star gates used in Fig. 9).
+
+* **even d** (Fig. 3, Theorem III.2): layer ``r`` surrounds layer ``r − 1``
+  with two identical ``|o⟩|0⟩-X^e_eo`` gates.  ``X^e_eo`` flips the parity of
+  every basis state, so the two copies cancel unless the inner layer flipped
+  the parity of the shared ancilla in between, which happens exactly when
+  all inner controls are ``|0⟩``.  The bottom (outermost) pair uses the
+  payload gate (``X01`` for the k-Toffoli, ``X^e_eo`` when the ladder itself
+  is used to build a larger ladder as in Fig. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.exceptions import DimensionError, SynthesisError, WireError
+from repro.qudit.controls import ControlPredicate, Odd, Value
+from repro.qudit.gates import Gate, XPerm, XPlus
+from repro.qudit.operations import BaseOp, Operation, StarShiftOp
+
+TopBuilder = Callable[[int, int, int], List[BaseOp]]
+
+
+def _check_wires(controls: Sequence[int], target: int, ancillas: Sequence[int]) -> None:
+    wires = list(controls) + [target] + list(ancillas)
+    if len(set(wires)) != len(wires):
+        raise WireError(f"ladder wires must be distinct, got {wires}")
+
+
+# ----------------------------------------------------------------------
+# Odd-d ladder (Fig. 7)
+# ----------------------------------------------------------------------
+def shift_top_builder(dim: int, shift: int = 1) -> TopBuilder:
+    """Top gate ``|00⟩-X+shift`` used by Lemma III.4 (as a 2-controlled macro)."""
+
+    def build(c1: int, c2: int, target: int) -> List[BaseOp]:
+        return [
+            Operation(XPlus(dim, shift), target, [(c1, Value(0)), (c2, Value(0))])
+        ]
+
+    return build
+
+
+def star_top_builder(sign: int) -> TopBuilder:
+    """Top gate ``|⋆⟩|0⟩-X±⋆`` used when the ladder synthesises a
+    multi-controlled star gate (the first "control" is the star wire)."""
+
+    def build(c1: int, c2: int, target: int) -> List[BaseOp]:
+        return [StarShiftOp(c1, target, sign, [(c2, Value(0))])]
+
+    return build
+
+
+def ladder_odd_garbage(
+    dim: int,
+    controls: Sequence[int],
+    target: int,
+    ancillas: Sequence[int],
+    top_builder: TopBuilder,
+) -> List[BaseOp]:
+    """The garbage-ancilla ladder of Fig. 7 (without the restoring tail).
+
+    ``controls[0]`` and ``controls[1]`` feed the top gate; each further
+    control adds one ``|⋆⟩|0⟩-X∓⋆`` / ``|⋆⟩|0⟩-X±⋆`` pair around the inner
+    ladder.  Ancilla ``ancillas[r]`` is the target of layer ``r + 2``.
+    """
+    if dim % 2 == 0:
+        raise DimensionError("the Fig. 7 ladder is the odd-d construction")
+    k = len(controls)
+    if k < 2:
+        raise SynthesisError("the ladder needs at least two controls")
+    if len(ancillas) < k - 2:
+        raise SynthesisError(f"need {k - 2} ancillas for a {k}-control ladder, got {len(ancillas)}")
+    _check_wires(controls, target, ancillas[: max(k - 2, 0)])
+
+    def layer(r: int) -> List[BaseOp]:
+        """Ops applying the payload to the layer-``r`` target iff
+        ``controls[:r]`` are all ``|0⟩``."""
+        layer_target = target if r == k else ancillas[r - 2]
+        if r == 2:
+            return list(top_builder(controls[0], controls[1], layer_target))
+        inner_wire = ancillas[r - 3]
+        before = StarShiftOp(
+            inner_wire, layer_target, -1, [(controls[r - 1], Value(0))]
+        )
+        after = StarShiftOp(
+            inner_wire, layer_target, +1, [(controls[r - 1], Value(0))]
+        )
+        return [before] + layer(r - 1) + [after]
+
+    return layer(k)
+
+
+def ladder_odd(
+    dim: int,
+    controls: Sequence[int],
+    target: int,
+    ancillas: Sequence[int],
+    top_builder: Optional[TopBuilder] = None,
+) -> List[BaseOp]:
+    """Full Lemma III.4 ladder with *borrowed* ancillas.
+
+    The garbage ladder is followed by the inverse of everything except the
+    outermost pair of gates, which restores the ``k − 2`` ancillas to their
+    initial values (so arbitrary idle wires can be borrowed).
+    """
+    if top_builder is None:
+        top_builder = shift_top_builder(dim, 1)
+    k = len(controls)
+    if k < 2:
+        raise SynthesisError("ladder_odd needs at least two controls; handle k <= 1 at the caller")
+    body = ladder_odd_garbage(dim, controls, target, ancillas, top_builder)
+    if k == 2:
+        return body
+    # The outermost layer consists of the first and last op; everything in
+    # between ("the dashed box" of Fig. 7) must be undone.
+    inner = body[1:-1]
+    restore = [op.inverse() for op in reversed(inner)]
+    return body + restore
+
+
+def multi_controlled_shift_ops(
+    dim: int,
+    controls: Sequence[int],
+    target: int,
+    borrow_pool: Sequence[int],
+    shift: int = 1,
+) -> List[BaseOp]:
+    """``|0^k⟩-X+shift`` (Lemma III.4) borrowing ``k − 2`` wires from
+    ``borrow_pool``; ancilla-free for ``k <= 2``."""
+    k = len(controls)
+    if k == 0:
+        return [Operation(XPlus(dim, shift), target)]
+    if k == 1:
+        return [Operation(XPlus(dim, shift), target, [(controls[0], Value(0))])]
+    ancillas = _take_borrows(borrow_pool, k - 2, exclude=set(controls) | {target})
+    return ladder_odd(dim, controls, target, ancillas, shift_top_builder(dim, shift))
+
+
+def multi_controlled_star_ops(
+    dim: int,
+    star_wire: int,
+    zero_controls: Sequence[int],
+    target: int,
+    sign: int,
+    borrow_pool: Sequence[int],
+) -> List[BaseOp]:
+    """``|⋆⟩|0^m⟩-X±⋆`` (the generalised Fig. 6 gate used by Fig. 9).
+
+    Built from the Fig. 7 ladder with the top gate replaced by the
+    two-qudit-control star gate, exactly as described in Lemma III.5.
+    """
+    if not zero_controls:
+        return [StarShiftOp(star_wire, target, sign)]
+    if len(zero_controls) == 1:
+        return [StarShiftOp(star_wire, target, sign, [(zero_controls[0], Value(0))])]
+    controls = [star_wire] + list(zero_controls)
+    ancillas = _take_borrows(
+        borrow_pool, len(controls) - 2, exclude=set(controls) | {target}
+    )
+    return ladder_odd(dim, controls, target, ancillas, star_top_builder(sign))
+
+
+# ----------------------------------------------------------------------
+# Even-d ladder (Fig. 3)
+# ----------------------------------------------------------------------
+def ladder_even_garbage(
+    dim: int,
+    controls: Sequence[int],
+    target: int,
+    ancillas: Sequence[int],
+    payload: Gate,
+    first_predicate: Optional[ControlPredicate] = None,
+) -> List[BaseOp]:
+    """The garbage-ancilla ladder of Fig. 3 (without the restoring tail).
+
+    The top gate is ``[first_predicate]|0⟩-X^e_eo`` on ``ancillas[0]``, each
+    intermediate layer adds a ``|o⟩|0⟩-X^e_eo`` pair, and the bottom pair
+    applies ``payload`` to ``target`` under an ``|o⟩|0⟩`` control.
+    """
+    if dim % 2 != 0:
+        raise DimensionError("the Fig. 3 ladder is the even-d construction")
+    k = len(controls)
+    if k < 2:
+        raise SynthesisError("the ladder needs at least two controls")
+    if len(ancillas) < k - 2:
+        raise SynthesisError(f"need {k - 2} ancillas for a {k}-control ladder, got {len(ancillas)}")
+    _check_wires(controls, target, ancillas[: max(k - 2, 0)])
+    first_pred = first_predicate if first_predicate is not None else Value(0)
+    xeo = XPerm.even_odd_swap(dim)
+
+    def layer(r: int) -> List[BaseOp]:
+        layer_payload = payload if r == k else xeo
+        layer_target = target if r == k else ancillas[r - 2]
+        if r == 2:
+            return [
+                Operation(
+                    layer_payload,
+                    layer_target,
+                    [(controls[0], first_pred), (controls[1], Value(0))],
+                )
+            ]
+        side = Operation(
+            layer_payload,
+            layer_target,
+            [(ancillas[r - 3], Odd()), (controls[r - 1], Value(0))],
+        )
+        return [side] + layer(r - 1) + [side]
+
+    return layer(k)
+
+
+def ladder_even(
+    dim: int,
+    controls: Sequence[int],
+    target: int,
+    ancillas: Sequence[int],
+    payload: Gate,
+    first_predicate: Optional[ControlPredicate] = None,
+) -> List[BaseOp]:
+    """Full Theorem III.2 ladder with *borrowed* ancillas (Fig. 3 plus the
+    restoring tail)."""
+    k = len(controls)
+    first_pred = first_predicate if first_predicate is not None else Value(0)
+    if k == 1:
+        return [Operation(payload, target, [(controls[0], first_pred)])]
+    body = ladder_even_garbage(dim, controls, target, ancillas, payload, first_pred)
+    if k == 2:
+        return body
+    inner = body[1:-1]
+    restore = [op.inverse() for op in reversed(inner)]
+    return body + restore
+
+
+def multi_controlled_payload_even_ops(
+    dim: int,
+    controls: Sequence[int],
+    target: int,
+    payload: Gate,
+    borrow_pool: Sequence[int],
+    first_predicate: Optional[ControlPredicate] = None,
+) -> List[BaseOp]:
+    """Even-``d`` multi-controlled payload built with borrowed wires from
+    ``borrow_pool`` (used by Fig. 4 for both halves of the control set)."""
+    k = len(controls)
+    if k <= 1:
+        return ladder_even(dim, controls, target, [], payload, first_predicate)
+    ancillas = _take_borrows(borrow_pool, k - 2, exclude=set(controls) | {target})
+    return ladder_even(dim, controls, target, ancillas, payload, first_predicate)
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _take_borrows(pool: Sequence[int], count: int, exclude: set) -> List[int]:
+    """Pick ``count`` distinct borrowable wires from ``pool``."""
+    if count <= 0:
+        return []
+    available = [w for w in pool if w not in exclude]
+    if len(available) < count:
+        raise SynthesisError(
+            f"need {count} borrowable wires but only {len(available)} are available"
+        )
+    return available[:count]

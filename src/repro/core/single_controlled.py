@@ -1,0 +1,139 @@
+"""Helpers for singly-controlled gates and for conjugation tricks.
+
+Section II of the paper observes that both ``|l⟩-Xij`` and ``|l⟩-X+y`` can be
+synthesised from ``O(d)`` G-gates.  The constructions here implement that
+observation and the conjugation tricks used throughout the synthesis:
+
+* an uncontrolled permutation gate decomposes into ``Xij`` transpositions;
+* ``|l⟩-Xij`` is obtained from the G-gate ``|0⟩-X01`` by conjugating the
+  control with ``X0l`` and the target with a permutation sending ``i -> 0``
+  and ``j -> 1``;
+* ``|l⟩-P`` for a general permutation ``P`` decomposes into controlled
+  transpositions;
+* ``|o⟩-P`` / ``|e⟩-P`` / set-controls decompose into a product of
+  ``|l⟩-P`` over the firing values (the firing value sets are disjoint, so
+  at most one factor fires on any basis state).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import GateError
+from repro.qudit.controls import ControlPredicate, Value
+from repro.qudit.gates import XPerm
+from repro.qudit.operations import Operation
+from repro.utils import permutations as perm_utils
+from repro.utils.permutations import Permutation
+
+
+def transposition_ops(dim: int, wire: int, perm: Sequence[int]) -> List[Operation]:
+    """Decompose an uncontrolled permutation on ``wire`` into ``Xij`` gates."""
+    ops: List[Operation] = []
+    for i, j in perm_utils.transpositions_of(perm):
+        ops.append(Operation(XPerm.transposition(dim, i, j), wire))
+    return ops
+
+
+def mapping_permutation(dim: int, i: int, j: int) -> Permutation:
+    """Return a permutation ``P`` of ``[dim]`` with ``P(i) = 0`` and ``P(j) = 1``.
+
+    Used to conjugate the target of a controlled transposition so that the
+    core gate is always the G-gate ``|0⟩-X01``.
+    """
+    if i == j:
+        raise GateError("mapping permutation needs two distinct points")
+    values = list(range(dim))
+    # Move value 0 to position i.
+    pos_zero = values.index(0)
+    values[pos_zero], values[i] = values[i], values[pos_zero]
+    # Move value 1 to position j (position i already holds 0, and j != i).
+    pos_one = values.index(1)
+    values[pos_one], values[j] = values[j], values[pos_one]
+    return tuple(values)
+
+
+def controlled_transposition_g_ops(
+    dim: int,
+    control: int,
+    control_value: int,
+    target: int,
+    i: int,
+    j: int,
+) -> List[Operation]:
+    """Synthesise ``|control_value⟩-Xij`` from G-gates.
+
+    Returns the literal G-gate sequence (a constant number of gates): the
+    control is conjugated by ``X_{0,l}`` and the target by a permutation
+    mapping ``{i, j}`` to ``{0, 1}``; the core is the G-gate ``|0⟩-X01``.
+    """
+    if i == j:
+        raise GateError("a transposition requires two distinct points")
+    ops: List[Operation] = []
+
+    pre_control: List[Operation] = []
+    if control_value != 0:
+        pre_control.append(Operation(XPerm.transposition(dim, 0, control_value), control))
+
+    conjugation = mapping_permutation(dim, i, j)
+    pre_target = transposition_ops(dim, target, conjugation)
+    post_target = transposition_ops(dim, target, perm_utils.invert(conjugation))
+
+    ops.extend(pre_control)
+    ops.extend(pre_target)
+    ops.append(
+        Operation(XPerm.transposition(dim, 0, 1), target, [(control, Value(0))])
+    )
+    ops.extend(post_target)
+    ops.extend(pre_control)  # X_{0,l} is an involution, so pre == post.
+    return ops
+
+
+def controlled_permutation_g_ops(
+    dim: int,
+    control: int,
+    predicate: ControlPredicate,
+    target: int,
+    perm: Sequence[int],
+) -> List[Operation]:
+    """Synthesise ``|predicate⟩-P`` (single control) from G-gates.
+
+    The permutation is decomposed into transpositions, each of which is
+    controlled on every firing value of the predicate in turn.  Because the
+    firing values are distinct basis states of a single control qudit, at
+    most one of the value-controlled factors fires for any input, so the
+    factors may be emitted in any order.
+    """
+    perm = perm_utils.as_permutation(perm)
+    if perm == perm_utils.identity_permutation(dim):
+        return []
+    firing_values = predicate.values(dim)
+    if not firing_values:
+        return []
+    ops: List[Operation] = []
+    transpositions: List[Tuple[int, int]] = perm_utils.transpositions_of(perm)
+    for value in firing_values:
+        for i, j in transpositions:
+            ops.extend(controlled_transposition_g_ops(dim, control, value, target, i, j))
+    return ops
+
+
+def control_value_conjugation_ops(
+    dim: int, controls: Sequence[int], control_values: Sequence[int]
+) -> List[Operation]:
+    """Return the ``X_{0,v}`` layer that maps control values onto ``0``.
+
+    Multi-controlled gates with arbitrary control values (used by the
+    reversible-function synthesis of Fig. 11 and by the unitary synthesis)
+    are reduced to the ``|0^k⟩``-controlled case by surrounding the circuit
+    with this involutory layer.
+    """
+    if len(controls) != len(control_values):
+        raise GateError("controls and control_values must have the same length")
+    ops: List[Operation] = []
+    for wire, value in zip(controls, control_values):
+        if not 0 <= value < dim:
+            raise GateError(f"control value {value} out of range for dimension {dim}")
+        if value != 0:
+            ops.append(Operation(XPerm.transposition(dim, 0, value), wire))
+    return ops

@@ -1,0 +1,110 @@
+"""Unified entry point for multi-controlled Toffoli synthesis.
+
+Dispatches between the odd-``d`` (Theorem III.6, ancilla-free) and even-``d``
+(Theorem III.2, one borrowed ancilla) constructions, and reduces the general
+case — arbitrary control values and an arbitrary target transposition — to
+the canonical ``|0^k⟩-X01`` form by conjugation with single-qudit ``Xij``
+gates (a standard trick the paper uses implicitly in Fig. 11 and Section IV).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import DimensionError, SynthesisError
+from repro.qudit.ancilla import AncillaKind, SynthesisResult
+from repro.qudit.circuit import QuditCircuit
+from repro.qudit.operations import BaseOp
+from repro.core.single_controlled import control_value_conjugation_ops
+from repro.core.toffoli_even import mct_even_ops, synthesize_mct_even
+from repro.core.toffoli_odd import mct_odd_ops, synthesize_mct_odd
+
+
+def mct_ops(
+    dim: int,
+    controls: Sequence[int],
+    target: int,
+    *,
+    borrow: Optional[int] = None,
+    control_values: Optional[Sequence[int]] = None,
+    swap: Tuple[int, int] = (0, 1),
+) -> List[BaseOp]:
+    """Build a multi-controlled ``X_{ij}`` on explicit wires.
+
+    Parameters
+    ----------
+    dim:
+        Qudit dimension (``d >= 3``).
+    controls, target:
+        Wire indices.  The gate applies the transposition ``swap`` to the
+        target when every control holds its control value.
+    borrow:
+        A borrowed-ancilla wire, required only when ``dim`` is even and
+        ``len(controls) >= 2``.
+    control_values:
+        Per-control firing values (default: all ``0``, the paper's
+        ``|0^k⟩``-control).  Non-zero values are handled by conjugating the
+        corresponding control with ``X_{0,v}``.
+    swap:
+        The target transposition ``(i, j)`` (default ``(0, 1)``: the
+        k-Toffoli).
+    """
+    if dim < 3:
+        raise DimensionError("the paper's constructions require d >= 3")
+    if swap[0] == swap[1]:
+        raise SynthesisError("the target transposition needs two distinct levels")
+
+    conjugation: List[BaseOp] = []
+    if control_values is not None:
+        conjugation = control_value_conjugation_ops(dim, controls, control_values)
+
+    if dim % 2 == 1:
+        core = mct_odd_ops(dim, controls, target, swap=swap)
+    else:
+        core = mct_even_ops(dim, controls, target, borrow, swap=swap)
+    return conjugation + core + conjugation
+
+
+def synthesize_mct(
+    dim: int,
+    num_controls: int,
+    *,
+    control_values: Optional[Sequence[int]] = None,
+    swap: Tuple[int, int] = (0, 1),
+) -> SynthesisResult:
+    """Synthesise the k-controlled Toffoli on a fresh register.
+
+    Wires ``0 .. k-1`` are the controls and wire ``k`` the target; for even
+    ``d`` (and ``k >= 2``) wire ``k+1`` is one borrowed ancilla.  This is the
+    main theorem of the paper: ``O(k · poly(d))`` G-gates with no ancilla for
+    odd ``d`` and one borrowed ancilla for even ``d``.
+    """
+    if control_values is None and swap == (0, 1):
+        if dim % 2 == 1:
+            return synthesize_mct_odd(dim, num_controls)
+        return synthesize_mct_even(dim, num_controls)
+
+    controls = list(range(num_controls))
+    target = num_controls
+    needs_borrow = dim % 2 == 0 and num_controls >= 2
+    borrow = num_controls + 1 if needs_borrow else None
+    num_wires = num_controls + (2 if needs_borrow else 1)
+    circuit = QuditCircuit(num_wires, dim, name=f"MCT(k={num_controls}, d={dim})")
+    circuit.extend(
+        mct_ops(
+            dim,
+            controls,
+            target,
+            borrow=borrow,
+            control_values=control_values,
+            swap=swap,
+        )
+    )
+    ancillas = {borrow: AncillaKind.BORROWED} if needs_borrow else {}
+    return SynthesisResult(
+        circuit=circuit,
+        controls=tuple(controls),
+        target=target,
+        ancillas=ancillas,
+        notes="Theorems III.2 / III.6 with control-value conjugation",
+    )

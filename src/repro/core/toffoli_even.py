@@ -1,0 +1,116 @@
+"""k-Toffoli synthesis for even d (Theorem III.2, Figs. 3-4).
+
+For even ``d`` the ``|0^k⟩-X01`` gate is an odd permutation of the
+computational basis while every G-gate is an even permutation, so at least
+one extra wire is unavoidable; the paper (and this module) achieves exactly
+one *borrowed* ancilla:
+
+1. Fig. 3 builds ``|0^k⟩-X01`` (and the variants ``|0^k⟩-X^e_eo`` and
+   ``|o⟩|0^{k-1}⟩-X01``) with ``k − 2`` borrowed ancillas using the
+   ``X^e_eo`` parity ladder (implemented in :mod:`repro.core.lambda_ladder`).
+2. Fig. 4 halves the control set: the first ``⌈k/2⌉`` controls drive an
+   ``X^e_eo`` on the single borrowed ancilla, and the remaining controls plus
+   an ``|o⟩``-control on that ancilla drive the payload ``X01``.  Repeating
+   the pair twice makes the target flip iff *both* halves are all-zero, and
+   restores the ancilla.  Each half borrows the (idle) wires of the other
+   half, so one explicit ancilla suffices overall.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.exceptions import DimensionError, SynthesisError, WireError
+from repro.qudit.ancilla import AncillaKind, SynthesisResult
+from repro.qudit.circuit import QuditCircuit
+from repro.qudit.controls import Odd, Value
+from repro.qudit.gates import XPerm
+from repro.qudit.operations import BaseOp, Operation
+from repro.core.lambda_ladder import multi_controlled_payload_even_ops
+
+
+def mct_even_ops(
+    dim: int,
+    controls: Sequence[int],
+    target: int,
+    borrow: Optional[int],
+    *,
+    swap=(0, 1),
+) -> List[BaseOp]:
+    """``|0^k⟩-X_{ij}`` for even ``d`` on explicit wires.
+
+    ``borrow`` is the single borrowed ancilla wire; it may be ``None`` only
+    for ``k <= 1`` (where the gate is already a one- or two-qudit gate).
+    """
+    if dim % 2 != 0:
+        raise DimensionError("mct_even_ops is the even-d construction")
+    if dim < 4:
+        raise DimensionError("even qudit constructions require d >= 4")
+    i, j = swap
+    payload = XPerm.transposition(dim, i, j)
+    k = len(controls)
+
+    if k == 0:
+        return [Operation(payload, target)]
+    if k == 1:
+        return [Operation(payload, target, [(controls[0], Value(0))])]
+    if borrow is None:
+        raise SynthesisError(
+            "even-d multi-controlled gates need one borrowed ancilla (Lemma III.1)"
+        )
+    wires = list(controls) + [target, borrow]
+    if len(set(wires)) != len(wires):
+        raise WireError(f"control/target/borrow wires must be distinct: {wires}")
+
+    if k == 2:
+        # Lemma III.1: the two-controlled gadget *is* the whole synthesis.
+        return [
+            Operation(payload, target, [(controls[0], Value(0)), (controls[1], Value(0))])
+        ]
+
+    # Fig. 4: split the controls into two halves.
+    half = (k + 1) // 2
+    first_half = list(controls[:half])
+    second_half = list(controls[half:])
+    xeo = XPerm.even_odd_swap(dim)
+
+    # |0^{⌈k/2⌉}⟩-X^e_eo on the borrowed ancilla, borrowing idle wires from
+    # the second half and the target.
+    flip_ancilla = multi_controlled_payload_even_ops(
+        dim, first_half, borrow, xeo, second_half + [target]
+    )
+    # |o⟩|0^{⌊k/2⌋}⟩-X01 on the target, borrowing idle wires from the first half.
+    hit_target = multi_controlled_payload_even_ops(
+        dim,
+        [borrow] + second_half,
+        target,
+        payload,
+        first_half,
+        first_predicate=Odd(),
+    )
+    return flip_ancilla + hit_target + flip_ancilla + hit_target
+
+
+def synthesize_mct_even(dim: int, num_controls: int, *, swap=(0, 1)) -> SynthesisResult:
+    """Theorem III.2: ``|0^k⟩-X01`` for even ``d`` with one borrowed ancilla.
+
+    The returned circuit uses wires ``0 .. k-1`` for the controls, wire ``k``
+    for the target and (for ``k >= 2``) wire ``k+1`` as the borrowed ancilla.
+    """
+    if num_controls < 0:
+        raise SynthesisError("the number of controls must be non-negative")
+    controls = list(range(num_controls))
+    target = num_controls
+    needs_borrow = num_controls >= 2
+    num_wires = num_controls + (2 if needs_borrow else 1)
+    borrow = num_controls + 1 if needs_borrow else None
+    circuit = QuditCircuit(num_wires, dim, name=f"MCT_even(k={num_controls}, d={dim})")
+    circuit.extend(mct_even_ops(dim, controls, target, borrow, swap=swap))
+    ancillas = {borrow: AncillaKind.BORROWED} if needs_borrow else {}
+    return SynthesisResult(
+        circuit=circuit,
+        controls=tuple(controls),
+        target=target,
+        ancillas=ancillas,
+        notes="Theorem III.2 (Figs. 3-4), even d, one borrowed ancilla",
+    )

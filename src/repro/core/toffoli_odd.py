@@ -1,0 +1,105 @@
+"""k-Toffoli synthesis for odd d (Theorem III.6, Fig. 10) — ancilla-free.
+
+The construction interleaves three ``|0⟩-X01`` gates (all controlled by the
+last control qudit ``x_k`` and targeting ``t``) with ``P_k`` / ``P_k†`` pairs
+and with ``|0⟩x_k``-controlled ``X^o_eo`` layers on the other controls:
+
+    |0⟩x_k-X01 · P_k · |0⟩x_k-X01 · P_k† · |0⟩x_k-(X^o_eo)^{⊗(k-1)}
+    · P_k · |0⟩x_k-X01 · P_k† · |0⟩x_k-(X^o_eo)^{⊗(k-1)}
+
+``P_k`` writes into ``x_k`` a value that depends on whether the last
+non-zero control is odd or even; ``X^o_eo`` flips that parity class without
+touching zeros, so the three detectors fire an odd number of times exactly
+when every control is ``|0⟩``.  ``P_k`` itself needs one borrowed ancilla
+(Fig. 9) — the target ``t`` is borrowed for that purpose, which is what makes
+the overall synthesis ancilla-free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.exceptions import DimensionError, SynthesisError, WireError
+from repro.qudit.ancilla import SynthesisResult
+from repro.qudit.circuit import QuditCircuit
+from repro.qudit.controls import Value
+from repro.qudit.gates import XPerm
+from repro.qudit.operations import BaseOp, Operation
+from repro.core.pk import pk_one_ancilla
+from repro.core.two_controlled import odd_two_controlled_x01_ops
+
+
+def mct_odd_ops(
+    dim: int,
+    controls: Sequence[int],
+    target: int,
+    *,
+    swap=(0, 1),
+) -> List[BaseOp]:
+    """``|0^k⟩-X_{ij}`` for odd ``d`` on explicit wires, ancilla-free."""
+    if dim % 2 != 1:
+        raise DimensionError("mct_odd_ops is the odd-d construction")
+    if dim < 3:
+        raise DimensionError("the paper's constructions require d >= 3")
+    i, j = swap
+    payload = XPerm.transposition(dim, i, j)
+    k = len(controls)
+    wires = list(controls) + [target]
+    if len(set(wires)) != len(wires):
+        raise WireError(f"control/target wires must be distinct: {wires}")
+
+    if k == 0:
+        return [Operation(payload, target)]
+    if k == 1:
+        return [Operation(payload, target, [(controls[0], Value(0))])]
+    if k == 2:
+        if (i, j) == (0, 1):
+            return odd_two_controlled_x01_ops(dim, controls[0], controls[1], target)
+        return [
+            Operation(payload, target, [(controls[0], Value(0)), (controls[1], Value(0))])
+        ]
+
+    last = controls[-1]
+    others = list(controls[:-1])
+    detector = Operation(payload, target, [(last, Value(0))])
+    xeo_odd = XPerm.odd_even_swap(dim)
+    parity_flip = [
+        Operation(xeo_odd, wire, [(last, Value(0))]) for wire in others
+    ]
+
+    # P_k acts on the control wires with x_k (= ``last``) as its target; the
+    # overall Toffoli target ``t`` is borrowed inside P_k's synthesis.
+    pk_ops = pk_one_ancilla(dim, list(controls), target)
+    pk_inverse = [op.inverse() for op in reversed(pk_ops)]
+
+    ops: List[BaseOp] = []
+    ops.append(detector)
+    ops.extend(pk_ops)
+    ops.append(detector)
+    ops.extend(pk_inverse)
+    ops.extend(parity_flip)
+    ops.extend(pk_ops)
+    ops.append(detector)
+    ops.extend(pk_inverse)
+    ops.extend(parity_flip)
+    return ops
+
+
+def synthesize_mct_odd(dim: int, num_controls: int, *, swap=(0, 1)) -> SynthesisResult:
+    """Theorem III.6: ``|0^k⟩-X01`` for odd ``d`` with no ancilla.
+
+    Wires ``0 .. k-1`` are the controls and wire ``k`` is the target.
+    """
+    if num_controls < 0:
+        raise SynthesisError("the number of controls must be non-negative")
+    controls = list(range(num_controls))
+    target = num_controls
+    circuit = QuditCircuit(num_controls + 1, dim, name=f"MCT_odd(k={num_controls}, d={dim})")
+    circuit.extend(mct_odd_ops(dim, controls, target, swap=swap))
+    return SynthesisResult(
+        circuit=circuit,
+        controls=tuple(controls),
+        target=target,
+        ancillas={},
+        notes="Theorem III.6 (Fig. 10), odd d, ancilla-free",
+    )

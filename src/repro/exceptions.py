@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch a single type while still being able to distinguish configuration
+errors (bad dimensions, bad wires) from synthesis and verification failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class DimensionError(ReproError):
+    """Raised when a qudit dimension is invalid for the requested operation.
+
+    Examples: ``d < 2`` anywhere, ``d < 3`` for the paper's constructions,
+    an odd-``d`` routine called with even ``d`` or vice versa.
+    """
+
+
+class WireError(ReproError):
+    """Raised when wire indices are out of range, repeated, or insufficient."""
+
+
+class GateError(ReproError):
+    """Raised when a gate is constructed from inconsistent data."""
+
+
+class SynthesisError(ReproError):
+    """Raised when a synthesis routine cannot produce a circuit.
+
+    This signals a caller error (e.g. not enough borrowable wires) rather
+    than an internal failure; internal failures surface as assertions in the
+    test suite.
+    """
+
+
+class VerificationError(ReproError):
+    """Raised by the verification helpers when a circuit does not implement
+    its specification."""

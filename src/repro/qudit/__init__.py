@@ -1,0 +1,29 @@
+"""Qudit circuit substrate: gates, controls, operations, circuits, ancillas."""
+
+from repro.qudit.ancilla import AncillaKind, SynthesisResult
+from repro.qudit.circuit import QuditCircuit, controlled
+from repro.qudit.controls import ControlPredicate, EvenNonZero, InSet, Odd, Value, value
+from repro.qudit.drawer import draw
+from repro.qudit.gates import Gate, SingleQuditUnitary, XPerm, XPlus
+from repro.qudit.operations import BaseOp, Operation, StarShiftOp
+
+__all__ = [
+    "AncillaKind",
+    "SynthesisResult",
+    "QuditCircuit",
+    "controlled",
+    "ControlPredicate",
+    "EvenNonZero",
+    "InSet",
+    "Odd",
+    "Value",
+    "value",
+    "draw",
+    "Gate",
+    "SingleQuditUnitary",
+    "XPerm",
+    "XPlus",
+    "BaseOp",
+    "Operation",
+    "StarShiftOp",
+]

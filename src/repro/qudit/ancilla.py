@@ -1,0 +1,96 @@
+"""Ancilla bookkeeping.
+
+Section II of the paper classifies ancilla qudits into four types according
+to their required initial and final states:
+
+* **burnable** — starts in ``|0⟩``, final state arbitrary;
+* **clean**    — starts in ``|0⟩``, must end in ``|0⟩``;
+* **garbage**  — arbitrary initial state, arbitrary final state;
+* **borrowed** — arbitrary initial state, must be restored to it.
+
+Synthesis routines return a :class:`SynthesisResult` that records which wires
+play which role, so that the verifiers can check the corresponding
+restoration invariants and the benchmark harness can report ancilla usage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.qudit.circuit import QuditCircuit
+
+
+class AncillaKind(enum.Enum):
+    """The four ancilla types of Section II."""
+
+    BURNABLE = "burnable"
+    CLEAN = "clean"
+    GARBAGE = "garbage"
+    BORROWED = "borrowed"
+
+    @property
+    def requires_zero_start(self) -> bool:
+        return self in (AncillaKind.BURNABLE, AncillaKind.CLEAN)
+
+    @property
+    def requires_restoration(self) -> bool:
+        """True if the final state is constrained (to ``|0⟩`` or the input)."""
+        return self in (AncillaKind.CLEAN, AncillaKind.BORROWED)
+
+
+@dataclass
+class SynthesisResult:
+    """A synthesised circuit together with its wire roles.
+
+    Attributes
+    ----------
+    circuit:
+        The synthesised :class:`QuditCircuit`.
+    controls:
+        Wires holding the control qudits (preserved by the circuit).
+    target:
+        The target wire (``None`` for circuits without a single designated
+        target, e.g. reversible-function implementations).
+    ancillas:
+        Mapping from ancilla wire to its :class:`AncillaKind`.
+    notes:
+        Free-form metadata (e.g. which theorem produced the circuit).
+    """
+
+    circuit: QuditCircuit
+    controls: Tuple[int, ...] = ()
+    target: Optional[int] = None
+    ancillas: Dict[int, AncillaKind] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def dim(self) -> int:
+        return self.circuit.dim
+
+    def ancilla_count(self, kind: Optional[AncillaKind] = None) -> int:
+        """Number of ancilla wires, optionally restricted to one kind."""
+        if kind is None:
+            return len(self.ancillas)
+        return sum(1 for k in self.ancillas.values() if k is kind)
+
+    def borrowed_wires(self) -> Tuple[int, ...]:
+        return tuple(sorted(w for w, k in self.ancillas.items() if k is AncillaKind.BORROWED))
+
+    def clean_wires(self) -> Tuple[int, ...]:
+        return tuple(sorted(w for w, k in self.ancillas.items() if k is AncillaKind.CLEAN))
+
+    def describe(self) -> str:
+        """One-line summary used in benchmark tables and examples."""
+        parts = [
+            f"{self.circuit.name}",
+            f"wires={self.circuit.num_wires}",
+            f"ops={self.circuit.num_ops()}",
+        ]
+        if self.ancillas:
+            kinds = ", ".join(f"{w}:{k.value}" for w, k in sorted(self.ancillas.items()))
+            parts.append(f"ancillas[{kinds}]")
+        else:
+            parts.append("ancilla-free")
+        return " ".join(parts)

@@ -1,0 +1,233 @@
+"""The qudit circuit IR.
+
+A :class:`QuditCircuit` is an ordered list of operations acting on ``n``
+wires that all share one dimension ``d`` (the paper treats ``d`` as a global
+constant).  The class provides the editing, composition and counting
+operations the synthesis routines and the benchmark harness need:
+
+* ``append`` / ``extend`` / ``compose`` / ``inverse``;
+* gate counting at several granularities (all ops, two-qudit ops, G-gates,
+  histograms by gate label) — the paper's cost metrics are "number of
+  two-qudit gates" and "number of G-gates";
+* ``depth`` (greedy wire-based scheduling), wire usage queries;
+* ``remap_wires`` for embedding a sub-circuit built on local wire labels
+  into a larger register.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.exceptions import DimensionError, WireError
+from repro.qudit.controls import ControlPredicate
+from repro.qudit.gates import Gate
+from repro.qudit.operations import BaseOp, Operation, StarShiftOp
+
+
+class QuditCircuit:
+    """An ordered sequence of operations on ``num_wires`` qudits of dimension ``dim``."""
+
+    def __init__(self, num_wires: int, dim: int, name: Optional[str] = None):
+        if dim < 2:
+            raise DimensionError(f"qudit dimension must be at least 2, got {dim}")
+        if num_wires < 1:
+            raise WireError(f"a circuit needs at least one wire, got {num_wires}")
+        self.num_wires = int(num_wires)
+        self.dim = int(dim)
+        self.name = name or "circuit"
+        self._ops: List[BaseOp] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def append(self, op: BaseOp) -> "QuditCircuit":
+        """Append one operation (validating its wires) and return ``self``."""
+        self._validate_op(op)
+        self._ops.append(op)
+        return self
+
+    def extend(self, ops: Iterable[BaseOp]) -> "QuditCircuit":
+        """Append several operations and return ``self``."""
+        for op in ops:
+            self.append(op)
+        return self
+
+    def add_gate(
+        self,
+        gate: Gate,
+        target: int,
+        controls: Sequence = (),
+    ) -> "QuditCircuit":
+        """Convenience wrapper: ``append(Operation(gate, target, controls))``."""
+        return self.append(Operation(gate, target, controls))
+
+    def compose(self, other: "QuditCircuit") -> "QuditCircuit":
+        """Append every operation of ``other`` (same dimension required)."""
+        if other.dim != self.dim:
+            raise DimensionError("cannot compose circuits of different qudit dimensions")
+        if other.num_wires > self.num_wires:
+            raise WireError("cannot compose a circuit with more wires into a smaller one")
+        return self.extend(other.ops)
+
+    def inverse(self) -> "QuditCircuit":
+        """Return a new circuit implementing the adjoint of this circuit."""
+        inv = QuditCircuit(self.num_wires, self.dim, name=f"{self.name}†")
+        for op in reversed(self._ops):
+            inv.append(op.inverse())
+        return inv
+
+    def copy(self) -> "QuditCircuit":
+        dup = QuditCircuit(self.num_wires, self.dim, name=self.name)
+        dup._ops = list(self._ops)
+        return dup
+
+    def remap_wires(self, mapping: Dict[int, int], num_wires: Optional[int] = None) -> "QuditCircuit":
+        """Return a copy of the circuit with wires relabelled through ``mapping``.
+
+        Every wire used by the circuit must appear as a key of ``mapping``.
+        ``num_wires`` defaults to ``max(mapping.values()) + 1``.
+        """
+        target_wires = num_wires if num_wires is not None else max(mapping.values()) + 1
+        remapped = QuditCircuit(target_wires, self.dim, name=self.name)
+        for op in self._ops:
+            remapped.append(_remap_op(op, mapping))
+        return remapped
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def ops(self) -> List[BaseOp]:
+        return list(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[BaseOp]:
+        return iter(self._ops)
+
+    def __getitem__(self, index: int) -> BaseOp:
+        return self._ops[index]
+
+    @property
+    def is_permutation(self) -> bool:
+        """True if every operation permutes the computational basis."""
+        return all(op.is_permutation for op in self._ops)
+
+    def used_wires(self) -> tuple:
+        """Sorted tuple of wires touched by at least one operation."""
+        wires = set()
+        for op in self._ops:
+            wires.update(op.wires())
+        return tuple(sorted(wires))
+
+    def targeted_wires(self) -> tuple:
+        """Sorted tuple of wires that appear as a target of some operation."""
+        return tuple(sorted({op.target for op in self._ops}))
+
+    def count(self, predicate: Callable[[BaseOp], bool]) -> int:
+        """Count operations satisfying an arbitrary predicate."""
+        return sum(1 for op in self._ops if predicate(op))
+
+    def num_ops(self) -> int:
+        return len(self._ops)
+
+    def two_qudit_count(self) -> int:
+        """Number of operations that touch exactly two wires.
+
+        This is the paper's "two-qudit gate" metric once the circuit has
+        been lowered so that no operation spans more than two wires.
+        """
+        return self.count(lambda op: op.span() == 2)
+
+    def multi_qudit_count(self) -> int:
+        """Number of operations that touch three or more wires (macros)."""
+        return self.count(lambda op: op.span() >= 3)
+
+    def single_qudit_count(self) -> int:
+        return self.count(lambda op: op.span() == 1)
+
+    def g_gate_count(self) -> int:
+        """Number of operations that are literally G-gates.
+
+        Meaningful after lowering with :func:`repro.core.lowering.lower_to_g_gates`;
+        before lowering macros are simply not counted.
+        """
+        return self.count(lambda op: op.is_g_gate(self.dim))
+
+    def is_g_circuit(self) -> bool:
+        """True if every operation is a G-gate."""
+        return all(op.is_g_gate(self.dim) for op in self._ops)
+
+    def max_span(self) -> int:
+        """Largest number of wires any single operation touches (0 if empty)."""
+        return max((op.span() for op in self._ops), default=0)
+
+    def label_histogram(self) -> Counter:
+        """Histogram of operations keyed by a readable label."""
+        histogram: Counter = Counter()
+        for op in self._ops:
+            if isinstance(op, StarShiftOp):
+                key = "X+⋆" if op.sign > 0 else "X-⋆"
+            else:
+                key = op.gate.label
+            prefix = "".join(f"|{p.label}⟩" for _, p in op.controls)
+            histogram[prefix + "-" + key if prefix else key] += 1
+        return histogram
+
+    def depth(self) -> int:
+        """Circuit depth under greedy as-soon-as-possible scheduling."""
+        frontier = [0] * self.num_wires
+        for op in self._ops:
+            level = max(frontier[w] for w in op.wires()) + 1
+            for w in op.wires():
+                frontier[w] = level
+        return max(frontier, default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QuditCircuit(name={self.name!r}, wires={self.num_wires}, "
+            f"dim={self.dim}, ops={len(self._ops)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _validate_op(self, op: BaseOp) -> None:
+        if not isinstance(op, BaseOp):
+            raise WireError(f"expected an operation, got {op!r}")
+        for wire in op.wires():
+            if not 0 <= wire < self.num_wires:
+                raise WireError(
+                    f"operation {op!r} uses wire {wire}, circuit has {self.num_wires} wires"
+                )
+        if isinstance(op, Operation) and op.gate.dim != self.dim:
+            raise DimensionError(
+                f"gate {op.gate.label} has dimension {op.gate.dim}, circuit has {self.dim}"
+            )
+
+
+def _remap_op(op: BaseOp, mapping: Dict[int, int]) -> BaseOp:
+    def lookup(wire: int) -> int:
+        try:
+            return mapping[wire]
+        except KeyError:
+            raise WireError(f"wire {wire} missing from remap mapping") from None
+
+    controls = tuple((lookup(w), p) for w, p in op.controls)
+    if isinstance(op, StarShiftOp):
+        return StarShiftOp(lookup(op.star_wire), lookup(op.target), op.sign, controls)
+    if isinstance(op, Operation):
+        return Operation(op.gate, lookup(op.target), controls)
+    raise WireError(f"cannot remap unknown operation type {type(op).__name__}")
+
+
+def controlled(
+    gate: Gate,
+    target: int,
+    control_wire: int,
+    predicate: ControlPredicate,
+) -> Operation:
+    """Build a singly-controlled operation (convenience helper)."""
+    return Operation(gate, target, [(control_wire, predicate)])

@@ -1,0 +1,118 @@
+"""Control predicates for controlled qudit gates.
+
+The paper uses several control conditions on a single control qudit:
+
+* ``|l⟩``-control — fire when the control is in state ``|l⟩``
+  (:class:`Value`); the default multi-controlled gate ``|0^k⟩-U`` uses
+  ``Value(0)`` on every control;
+* ``|o⟩``-control — fire when the control is in an odd basis state
+  (:class:`Odd`), written ``Π_{odd l} |l⟩-U`` in the paper;
+* ``|e⟩``-control — fire when the control is in a non-zero even basis state
+  (:class:`EvenNonZero`));
+* arbitrary subsets of firing values (:class:`InSet`), used by the even-``d``
+  two-controlled gadget.
+
+A predicate answers two questions: does a given value satisfy it, and which
+values of ``[d]`` satisfy it (used when lowering an ``|o⟩``/``|e⟩``/set
+control into a product of plain ``|l⟩``-controlled gates).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+from repro.exceptions import GateError
+
+
+class ControlPredicate:
+    """Base class for control predicates."""
+
+    label: str = "?"
+
+    def satisfied_by(self, value: int, dim: int) -> bool:
+        """Return True if a control qudit in basis state ``value`` fires."""
+        raise NotImplementedError
+
+    def values(self, dim: int) -> Tuple[int, ...]:
+        """Return the sorted tuple of firing values in ``[dim]``."""
+        return tuple(v for v in range(dim) if self.satisfied_by(v, dim))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ControlPredicate):
+            return NotImplemented
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self):
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.label})"
+
+
+class Value(ControlPredicate):
+    """Fire when the control qudit is in the specific basis state ``|value⟩``."""
+
+    def __init__(self, value: int):
+        if value < 0:
+            raise GateError(f"control value must be non-negative, got {value}")
+        self.value = int(value)
+        self.label = str(self.value)
+
+    def satisfied_by(self, value: int, dim: int) -> bool:
+        if self.value >= dim:
+            raise GateError(f"control value {self.value} out of range for dimension {dim}")
+        return value == self.value
+
+    def _key(self):
+        return (self.value,)
+
+
+class Odd(ControlPredicate):
+    """The paper's ``|o⟩``-control: fire on every odd basis state."""
+
+    label = "o"
+
+    def satisfied_by(self, value: int, dim: int) -> bool:
+        return value % 2 == 1
+
+
+class EvenNonZero(ControlPredicate):
+    """The paper's ``|e⟩``-control: fire on every non-zero even basis state."""
+
+    label = "e"
+
+    def satisfied_by(self, value: int, dim: int) -> bool:
+        return value != 0 and value % 2 == 0
+
+
+class InSet(ControlPredicate):
+    """Fire when the control value lies in an explicit set of values."""
+
+    def __init__(self, values: FrozenSet[int]):
+        self._values = frozenset(int(v) for v in values)
+        if not self._values:
+            raise GateError("InSet control requires at least one firing value")
+        if any(v < 0 for v in self._values):
+            raise GateError("InSet control values must be non-negative")
+        self.label = "∈{" + ",".join(str(v) for v in sorted(self._values)) + "}"
+
+    def satisfied_by(self, value: int, dim: int) -> bool:
+        if max(self._values) >= dim:
+            raise GateError("InSet control has values out of range for this dimension")
+        return value in self._values
+
+    def _key(self):
+        return (tuple(sorted(self._values)),)
+
+
+#: Convenience singleton-style constructors used throughout the synthesis code.
+ZERO = Value(0)
+ONE = Value(1)
+
+
+def value(v: int) -> Value:
+    """Shorthand constructor for a ``|v⟩``-control."""
+    return Value(v)

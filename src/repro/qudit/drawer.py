@@ -1,0 +1,68 @@
+"""A small ASCII circuit drawer.
+
+Renders a :class:`~repro.qudit.circuit.QuditCircuit` as text, one row per
+wire and one column per operation (no compaction), in the same visual
+language as the paper's figures: control predicates are shown as their label
+("0", "o", "e", "⋆", ...) and targets as the gate label.  Intended for the
+examples and for debugging small circuits, not for publication-quality
+rendering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.qudit.circuit import QuditCircuit
+from repro.qudit.operations import Operation, StarShiftOp
+
+
+def draw(circuit: QuditCircuit, wire_labels: Optional[Sequence[str]] = None, max_columns: int = 40) -> str:
+    """Return an ASCII rendering of ``circuit``.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to draw.
+    wire_labels:
+        Optional labels for the wires (defaults to ``q0, q1, ...``).
+    max_columns:
+        Circuits with more operations than this are truncated with an
+        ellipsis column so that examples stay readable.
+    """
+    labels = list(wire_labels) if wire_labels is not None else [f"q{i}" for i in range(circuit.num_wires)]
+    if len(labels) != circuit.num_wires:
+        labels = [f"q{i}" for i in range(circuit.num_wires)]
+    width = max(len(label) for label in labels)
+
+    columns: List[List[str]] = []
+    ops = circuit.ops
+    truncated = False
+    if len(ops) > max_columns:
+        ops = ops[:max_columns]
+        truncated = True
+
+    for op in ops:
+        column = [""] * circuit.num_wires
+        if isinstance(op, StarShiftOp):
+            column[op.star_wire] = "⋆"
+            column[op.target] = "X+⋆" if op.sign > 0 else "X-⋆"
+        elif isinstance(op, Operation):
+            column[op.target] = op.gate.label
+        for wire, predicate in op.controls:
+            column[wire] = predicate.label
+        columns.append(column)
+    if truncated:
+        columns.append(["..."] * circuit.num_wires)
+
+    column_widths = [max((len(cell) for cell in column), default=1) for column in columns]
+    lines = []
+    for wire in range(circuit.num_wires):
+        cells = []
+        for column, col_width in zip(columns, column_widths):
+            cell = column[wire]
+            if cell:
+                cells.append(cell.center(col_width + 2))
+            else:
+                cells.append("-" * (col_width + 2))
+        lines.append(f"{labels[wire]:>{width}}: " + "".join(cells))
+    return "\n".join(lines)

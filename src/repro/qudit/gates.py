@@ -1,0 +1,228 @@
+"""Single-qudit gate model.
+
+The paper works with ``d``-level qudits (``d >= 3``) and three families of
+single-qudit gates:
+
+* ``Xij`` — swaps the computational basis states ``|i⟩`` and ``|j⟩``
+  (represented here by :class:`XPerm` built from a transposition);
+* ``X+y`` — the cyclic shift ``|i⟩ -> |(i + y) mod d⟩``
+  (:class:`XPlus`);
+* arbitrary single-qudit unitaries ``U`` used as the payload of
+  multi-controlled gates (:class:`SingleQuditUnitary`).
+
+Every gate knows its dimension.  Permutation gates expose their permutation
+table, which is what the classical (basis-state) simulator and the G-gate
+lowering pass consume; unitary gates expose a dense matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DimensionError, GateError
+from repro.utils import permutations as perm_utils
+from repro.utils.permutations import Permutation
+
+
+class Gate:
+    """Base class for single-qudit gates.
+
+    Subclasses must provide :attr:`dim`, :meth:`inverse`, and either a
+    permutation table (:meth:`permutation`) or a matrix (:meth:`matrix`).
+    """
+
+    #: Human-readable name used by the drawer and in reports.
+    label: str = "G"
+
+    @property
+    def dim(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def is_permutation(self) -> bool:
+        """True if the gate permutes the computational basis (no phases)."""
+        raise NotImplementedError
+
+    def permutation(self) -> Permutation:
+        """Return the permutation table; raises for non-permutation gates."""
+        raise GateError(f"{self.label} is not a permutation gate")
+
+    def matrix(self) -> np.ndarray:
+        """Return the dense ``d x d`` unitary matrix of the gate."""
+        raise NotImplementedError
+
+    def inverse(self) -> "Gate":
+        """Return the inverse gate."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - trivial
+        if not isinstance(other, Gate):
+            return NotImplemented
+        if self.is_permutation and other.is_permutation:
+            return self.dim == other.dim and self.permutation() == other.permutation()
+        if not self.is_permutation and not other.is_permutation:
+            return self.dim == other.dim and np.allclose(self.matrix(), other.matrix())
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.label}, d={self.dim})"
+
+
+class XPerm(Gate):
+    """A single-qudit gate that permutes the computational basis.
+
+    ``XPerm`` covers the paper's ``Xij`` gates (transpositions) and every
+    product of them (e.g. ``X^e_eo`` and ``X^o_eo``).  Use the constructors
+    :meth:`transposition`, :meth:`from_cycles`, :meth:`even_odd_swap` and
+    :meth:`odd_even_swap` for the named gates.
+    """
+
+    def __init__(self, perm: Sequence[int], label: Optional[str] = None):
+        self._perm = perm_utils.as_permutation(perm)
+        if len(self._perm) < 2:
+            raise DimensionError("a qudit gate needs dimension at least 2")
+        self.label = label if label is not None else f"P{list(self._perm)}"
+
+    @property
+    def dim(self) -> int:
+        return len(self._perm)
+
+    @property
+    def is_permutation(self) -> bool:
+        return True
+
+    def permutation(self) -> Permutation:
+        return self._perm
+
+    def matrix(self) -> np.ndarray:
+        d = self.dim
+        mat = np.zeros((d, d), dtype=complex)
+        for source, target in enumerate(self._perm):
+            mat[target, source] = 1.0
+        return mat
+
+    def inverse(self) -> "XPerm":
+        return XPerm(perm_utils.invert(self._perm), label=f"{self.label}†")
+
+    def is_identity(self) -> bool:
+        return self._perm == perm_utils.identity_permutation(self.dim)
+
+    def is_transposition(self) -> bool:
+        """True if the gate is one of the paper's ``Xij`` gates."""
+        return perm_utils.is_transposition(self._perm)
+
+    def transposition_points(self) -> Tuple[int, int]:
+        """Return ``(i, j)`` for an ``Xij`` gate, smallest first."""
+        if not self.is_transposition():
+            raise GateError(f"{self.label} is not a transposition")
+        cycle = perm_utils.cycles_of(self._perm)[0]
+        return (min(cycle), max(cycle))
+
+    # ------------------------------------------------------------------
+    # Named constructors for the paper's gates
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, d: int) -> "XPerm":
+        return cls(perm_utils.identity_permutation(d), label="I")
+
+    @classmethod
+    def transposition(cls, d: int, i: int, j: int) -> "XPerm":
+        """The paper's ``Xij`` gate on a ``d``-level qudit."""
+        return cls(perm_utils.transposition(d, i, j), label=f"X{min(i, j)}{max(i, j)}")
+
+    @classmethod
+    def from_cycles(cls, d: int, cycles: Sequence[Sequence[int]], label: Optional[str] = None) -> "XPerm":
+        return cls(perm_utils.permutation_from_cycles(d, cycles), label=label)
+
+    @classmethod
+    def even_odd_swap(cls, d: int) -> "XPerm":
+        """``X^e_eo = X01 X23 ... X(d-2)(d-1)`` for even ``d`` (Sec. III-A).
+
+        Swaps each even basis state ``2i`` with the odd state ``2i + 1``;
+        it flips the parity of every basis state, which is the property the
+        even-``d`` ladder of Fig. 3 relies on.
+        """
+        if d % 2 != 0:
+            raise DimensionError(f"X^e_eo requires even dimension, got {d}")
+        pairs = [(2 * i, 2 * i + 1) for i in range(d // 2)]
+        return cls.from_cycles(d, pairs, label="Xeo^e")
+
+    @classmethod
+    def odd_even_swap(cls, d: int) -> "XPerm":
+        """``X^o_eo = X12 X34 ... X(d-2)(d-1)`` for odd ``d`` (Sec. III-B).
+
+        Fixes ``|0⟩`` and swaps every odd state ``2i + 1`` with the even
+        state ``2i + 2``; used in Fig. 10 to flip the parity class of every
+        non-zero control value.
+        """
+        if d % 2 != 1:
+            raise DimensionError(f"X^o_eo requires odd dimension, got {d}")
+        pairs = [(2 * i + 1, 2 * i + 2) for i in range((d - 1) // 2)]
+        return cls.from_cycles(d, pairs, label="Xeo^o")
+
+
+class XPlus(Gate):
+    """The cyclic shift gate ``X+y : |i⟩ -> |(i + y) mod d⟩``."""
+
+    def __init__(self, d: int, shift: int):
+        if d < 2:
+            raise DimensionError("a qudit gate needs dimension at least 2")
+        self._dim = d
+        self.shift = shift % d
+        self.label = f"X+{self.shift}" if self.shift != d - 1 or d == 2 else "X-1"
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def is_permutation(self) -> bool:
+        return True
+
+    def permutation(self) -> Permutation:
+        return perm_utils.cycle_plus(self._dim, self.shift)
+
+    def matrix(self) -> np.ndarray:
+        return XPerm(self.permutation()).matrix()
+
+    def inverse(self) -> "XPlus":
+        return XPlus(self._dim, (-self.shift) % self._dim)
+
+    def is_identity(self) -> bool:
+        return self.shift == 0
+
+
+class SingleQuditUnitary(Gate):
+    """An arbitrary single-qudit unitary ``U`` (dense ``d x d`` matrix).
+
+    This is the payload of the general multi-controlled gate
+    ``|0^k⟩-U`` of Fig. 1(b); the synthesis keeps it opaque and only ever
+    applies it under a single ``|1⟩``-control.
+    """
+
+    def __init__(self, matrix: np.ndarray, label: str = "U", *, check: bool = True):
+        mat = np.asarray(matrix, dtype=complex)
+        if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+            raise GateError("a single-qudit unitary must be a square matrix")
+        if mat.shape[0] < 2:
+            raise DimensionError("a qudit gate needs dimension at least 2")
+        if check and not np.allclose(mat @ mat.conj().T, np.eye(mat.shape[0]), atol=1e-9):
+            raise GateError("matrix is not unitary")
+        self._matrix = mat
+        self.label = label
+
+    @property
+    def dim(self) -> int:
+        return self._matrix.shape[0]
+
+    @property
+    def is_permutation(self) -> bool:
+        return False
+
+    def matrix(self) -> np.ndarray:
+        return self._matrix.copy()
+
+    def inverse(self) -> "SingleQuditUnitary":
+        return SingleQuditUnitary(self._matrix.conj().T, label=f"{self.label}†", check=False)

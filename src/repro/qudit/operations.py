@@ -1,0 +1,176 @@
+"""Circuit operations: gates placed on wires with (possibly several) controls.
+
+Two operation kinds exist:
+
+* :class:`Operation` — a single-qudit gate applied to a target wire,
+  optionally controlled by any number of ``(wire, predicate)`` pairs.  The
+  paper's gate set ``G = {Xij} ∪ {|0⟩-X01}`` corresponds to operations with
+  zero controls and a transposition gate, or one ``Value(0)`` control and an
+  ``X01`` gate (see :meth:`Operation.is_g_gate`).
+* :class:`StarShiftOp` — the paper's ``|⋆⟩|0...0⟩-X±⋆`` gate (Fig. 6): when
+  every ordinary control fires, the target is shifted by ``± value`` where
+  ``value`` is the current state of the designated star wire.  It is a
+  synthesis-internal macro that the lowering pass expands into ordinary
+  controlled gates.
+
+Both kinds know how to apply themselves to a classical basis state, which is
+all the permutation simulator needs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import GateError, WireError
+from repro.qudit.controls import ControlPredicate, Value
+from repro.qudit.gates import Gate, XPerm
+
+Control = Tuple[int, ControlPredicate]
+
+
+def _normalize_controls(controls: Sequence[Control]) -> Tuple[Control, ...]:
+    normalized: List[Control] = []
+    for wire, predicate in controls:
+        if not isinstance(predicate, ControlPredicate):
+            raise GateError(f"control predicate {predicate!r} is not a ControlPredicate")
+        normalized.append((int(wire), predicate))
+    return tuple(normalized)
+
+
+class BaseOp:
+    """Common interface shared by :class:`Operation` and :class:`StarShiftOp`."""
+
+    controls: Tuple[Control, ...]
+    target: int
+
+    def wires(self) -> Tuple[int, ...]:
+        raise NotImplementedError
+
+    def span(self) -> int:
+        """Number of distinct wires the operation touches."""
+        return len(self.wires())
+
+    def inverse(self) -> "BaseOp":
+        raise NotImplementedError
+
+    def controls_fire(self, state: Sequence[int], dim: int) -> bool:
+        """Return True if every control predicate is satisfied by ``state``."""
+        return all(pred.satisfied_by(state[wire], dim) for wire, pred in self.controls)
+
+    def apply_to_basis(self, state: List[int], dim: int) -> None:
+        """Apply the operation in place to a classical basis state."""
+        raise NotImplementedError
+
+    @property
+    def is_permutation(self) -> bool:
+        raise NotImplementedError
+
+    def _check_distinct_wires(self) -> None:
+        wires = self.wires()
+        if len(set(wires)) != len(wires):
+            raise WireError(f"operation uses a wire more than once: {wires}")
+
+
+class Operation(BaseOp):
+    """A (multi-)controlled single-qudit gate."""
+
+    def __init__(self, gate: Gate, target: int, controls: Sequence[Control] = ()):
+        self.gate = gate
+        self.target = int(target)
+        self.controls = _normalize_controls(controls)
+        self._check_distinct_wires()
+
+    def wires(self) -> Tuple[int, ...]:
+        return tuple(wire for wire, _ in self.controls) + (self.target,)
+
+    @property
+    def is_permutation(self) -> bool:
+        return self.gate.is_permutation
+
+    @property
+    def num_controls(self) -> int:
+        return len(self.controls)
+
+    def inverse(self) -> "Operation":
+        return Operation(self.gate.inverse(), self.target, self.controls)
+
+    def apply_to_basis(self, state: List[int], dim: int) -> None:
+        if not self.gate.is_permutation:
+            raise GateError("cannot apply a non-permutation gate to a classical basis state")
+        if self.controls_fire(state, dim):
+            state[self.target] = self.gate.permutation()[state[self.target]]
+
+    def is_g_gate(self, dim: int) -> bool:
+        """Return True if the operation belongs to the paper's gate set G.
+
+        ``G = {Xij : i != j} ∪ {|0⟩-X01}``: either an uncontrolled
+        transposition, or an ``X01`` transposition with exactly one
+        ``Value(0)`` control.
+        """
+        if not isinstance(self.gate, XPerm) or not self.gate.is_transposition():
+            return False
+        if self.num_controls == 0:
+            return True
+        if self.num_controls == 1:
+            wire_pred = self.controls[0][1]
+            return (
+                isinstance(wire_pred, Value)
+                and wire_pred.value == 0
+                and self.gate.transposition_points() == (0, 1)
+            )
+        return False
+
+    def is_two_qudit(self) -> bool:
+        """Return True if the operation touches exactly two wires."""
+        return self.span() == 2
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ctrl = ", ".join(f"{p.label}@{w}" for w, p in self.controls)
+        return f"Operation({self.gate.label} -> w{self.target}" + (f" | {ctrl})" if ctrl else ")")
+
+
+class StarShiftOp(BaseOp):
+    """The ``|⋆⟩|0...⟩-X±⋆`` gate of Fig. 6 (and its multi-controlled variants).
+
+    Semantics on a basis state: if every entry of ``controls`` fires, the
+    target becomes ``(target + sign * state[star_wire]) mod d``.  The star
+    wire itself is never modified.
+    """
+
+    def __init__(self, star_wire: int, target: int, sign: int, controls: Sequence[Control] = ()):
+        if sign not in (+1, -1):
+            raise GateError(f"star-shift sign must be +1 or -1, got {sign}")
+        self.star_wire = int(star_wire)
+        self.target = int(target)
+        self.sign = sign
+        self.controls = _normalize_controls(controls)
+        self._check_distinct_wires()
+
+    def wires(self) -> Tuple[int, ...]:
+        return (self.star_wire,) + tuple(wire for wire, _ in self.controls) + (self.target,)
+
+    @property
+    def is_permutation(self) -> bool:
+        return True
+
+    @property
+    def num_controls(self) -> int:
+        return len(self.controls) + 1  # the star wire also acts as a control
+
+    def inverse(self) -> "StarShiftOp":
+        return StarShiftOp(self.star_wire, self.target, -self.sign, self.controls)
+
+    def apply_to_basis(self, state: List[int], dim: int) -> None:
+        if self.controls_fire(state, dim):
+            state[self.target] = (state[self.target] + self.sign * state[self.star_wire]) % dim
+
+    def is_g_gate(self, dim: int) -> bool:
+        return False
+
+    def is_two_qudit(self) -> bool:
+        return self.span() == 2
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = "X+⋆" if self.sign > 0 else "X-⋆"
+        ctrl = ", ".join(f"{p.label}@{w}" for w, p in self.controls)
+        return f"StarShiftOp({name}: ⋆@w{self.star_wire} -> w{self.target}" + (f" | {ctrl})" if ctrl else ")")

@@ -1,0 +1,19 @@
+"""Resource estimation (fault-tolerant Clifford+T costs for qutrits)."""
+
+from repro.resources.cliffordt import (
+    DEFAULT_PARAMS,
+    CliffordTCost,
+    CliffordTParams,
+    clifford_t_cost,
+    yeh_vdw_reversible_model,
+    yeh_vdw_toffoli_model,
+)
+
+__all__ = [
+    "DEFAULT_PARAMS",
+    "CliffordTCost",
+    "CliffordTParams",
+    "clifford_t_cost",
+    "yeh_vdw_reversible_model",
+    "yeh_vdw_toffoli_model",
+]

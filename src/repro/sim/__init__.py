@@ -1,0 +1,45 @@
+"""Simulators and verification helpers for qudit circuits."""
+
+from repro.sim.permutation import (
+    apply_to_basis,
+    function_table,
+    permutation_parity,
+    permutation_table,
+    states_differing_on,
+)
+from repro.sim.statevector import Statevector
+from repro.sim.unitary import (
+    circuit_unitary,
+    controlled_unitary_matrix,
+    multi_controlled_unitary_matrix,
+)
+from repro.sim.verify import (
+    assert_implements_permutation,
+    assert_mct_spec,
+    assert_permutation_equals_function,
+    assert_unitary_equiv,
+    assert_unitary_equiv_with_clean_ancillas,
+    assert_wires_preserved,
+    mc_shift_spec,
+    mct_spec,
+)
+
+__all__ = [
+    "apply_to_basis",
+    "function_table",
+    "permutation_parity",
+    "permutation_table",
+    "states_differing_on",
+    "Statevector",
+    "circuit_unitary",
+    "controlled_unitary_matrix",
+    "multi_controlled_unitary_matrix",
+    "assert_implements_permutation",
+    "assert_mct_spec",
+    "assert_permutation_equals_function",
+    "assert_unitary_equiv",
+    "assert_unitary_equiv_with_clean_ancillas",
+    "assert_wires_preserved",
+    "mc_shift_spec",
+    "mct_spec",
+]

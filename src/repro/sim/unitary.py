@@ -1,0 +1,69 @@
+"""Full-unitary construction for small circuits.
+
+Builds the ``d^n x d^n`` matrix implemented by a circuit by pushing every
+computational basis state through the statevector simulator.  Used by the
+verification helpers for the unitary-level constructions (controlled-U,
+Theorem IV.1 unitary synthesis, root-of-X baselines) and by the tests that
+compare against numpy ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.qudit.circuit import QuditCircuit
+from repro.sim.permutation import permutation_table
+from repro.sim.statevector import Statevector
+from repro.utils.indexing import index_to_digits
+
+
+def circuit_unitary(circuit: QuditCircuit) -> np.ndarray:
+    """Return the dense unitary matrix implemented by ``circuit``.
+
+    For pure permutation circuits the matrix is assembled directly from the
+    basis-state permutation table (exact and fast); otherwise each basis
+    state is evolved through the statevector simulator.
+    """
+    size = circuit.dim**circuit.num_wires
+    if circuit.is_permutation:
+        table = permutation_table(circuit)
+        matrix = np.zeros((size, size), dtype=complex)
+        for source, target in enumerate(table):
+            matrix[target, source] = 1.0
+        return matrix
+
+    matrix = np.zeros((size, size), dtype=complex)
+    for source in range(size):
+        digits = index_to_digits(source, circuit.dim, circuit.num_wires)
+        state = Statevector.from_basis_state(digits, circuit.dim)
+        state.apply_circuit(circuit)
+        matrix[:, source] = state.data
+    return matrix
+
+
+def controlled_unitary_matrix(dim: int, control_value: int, unitary: np.ndarray) -> np.ndarray:
+    """Matrix of the two-qudit gate ``|control_value⟩-U`` (control wire first)."""
+    size = dim * dim
+    matrix = np.eye(size, dtype=complex)
+    block = slice(control_value * dim, (control_value + 1) * dim)
+    matrix[block, block] = unitary
+    return matrix
+
+
+def multi_controlled_unitary_matrix(
+    dim: int, num_controls: int, unitary: np.ndarray, control_values=None
+) -> np.ndarray:
+    """Matrix of ``|c_1 ... c_k⟩-U`` with the target as the last wire.
+
+    ``control_values`` defaults to all zeros (the paper's ``|0^k⟩-U``).
+    """
+    if control_values is None:
+        control_values = (0,) * num_controls
+    size = dim ** (num_controls + 1)
+    matrix = np.eye(size, dtype=complex)
+    offset = 0
+    for value in control_values:
+        offset = offset * dim + value
+    block = slice(offset * dim, (offset + 1) * dim)
+    matrix[block, block] = unitary
+    return matrix

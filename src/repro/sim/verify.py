@@ -1,0 +1,320 @@
+"""Verification helpers.
+
+Every synthesis routine in the library is checked against a *semantic
+specification* rather than against a reference circuit:
+
+* :func:`assert_implements_permutation` — exhaustive basis-state check that
+  the circuit realises a given classical map (used for k-Toffoli, P_k,
+  reversible functions, two-controlled gadgets);
+* :func:`assert_mct_spec` — convenience wrapper building the multi-controlled
+  ``Xij`` specification used throughout Section III;
+* :func:`assert_wires_preserved` — checks that designated wires (controls,
+  borrowed ancillas) are returned unchanged for every basis input, which is
+  part of the paper's correctness statements;
+* :func:`assert_unitary_equiv` — dense matrix comparison (optionally up to a
+  global phase) for the unitary-level constructions;
+* sampled variants of the above for systems too large to enumerate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import VerificationError
+from repro.qudit.circuit import QuditCircuit
+from repro.sim.permutation import apply_to_basis
+from repro.sim.unitary import circuit_unitary
+from repro.utils.indexing import iterate_basis
+
+BasisState = Tuple[int, ...]
+Spec = Callable[[BasisState], Sequence[int]]
+
+#: Systems with at most this many basis states are verified exhaustively.
+EXHAUSTIVE_LIMIT = 200_000
+
+
+def assert_implements_permutation(
+    circuit: QuditCircuit,
+    spec: Spec,
+    *,
+    max_states: int = EXHAUSTIVE_LIMIT,
+    samples: int = 2000,
+    seed: int = 7,
+    clean_wires: Sequence[int] = (),
+) -> None:
+    """Check that ``circuit`` maps every basis state exactly as ``spec`` does.
+
+    If the basis is larger than ``max_states`` the check falls back to
+    ``samples`` random basis states (still exact per state).
+
+    ``clean_wires`` lists wires that the circuit assumes start in ``|0⟩``
+    (clean or burnable ancillas); basis states with other values on those
+    wires are outside the circuit's contract and are skipped.
+    """
+    clean = tuple(clean_wires)
+    total = circuit.dim**circuit.num_wires
+    if total <= max_states:
+        states: Iterable[BasisState] = iterate_basis(circuit.dim, circuit.num_wires)
+    else:
+        rng = random.Random(seed)
+        states = (
+            tuple(
+                0 if wire in clean else rng.randrange(circuit.dim)
+                for wire in range(circuit.num_wires)
+            )
+            for _ in range(samples)
+        )
+    for state in states:
+        if any(state[w] != 0 for w in clean):
+            continue
+        expected = tuple(spec(state))
+        actual = apply_to_basis(circuit, state)
+        if actual != expected:
+            raise VerificationError(
+                f"circuit {circuit.name!r} maps {state} to {actual}, expected {expected}"
+            )
+
+
+def assert_wires_preserved(
+    circuit: QuditCircuit,
+    wires: Sequence[int],
+    *,
+    max_states: int = EXHAUSTIVE_LIMIT,
+    samples: int = 2000,
+    seed: int = 11,
+) -> None:
+    """Check that the circuit restores ``wires`` for every basis input.
+
+    This is the borrowed-ancilla / control-preservation invariant.
+    """
+    wires = tuple(wires)
+
+    def spec_preserving(state: BasisState) -> BasisState:
+        output = apply_to_basis(circuit, state)
+        mismatch = [w for w in wires if output[w] != state[w]]
+        if mismatch:
+            raise VerificationError(
+                f"circuit {circuit.name!r} modified wires {mismatch} on input {state}: {output}"
+            )
+        return output
+
+    total = circuit.dim**circuit.num_wires
+    if total <= max_states:
+        for state in iterate_basis(circuit.dim, circuit.num_wires):
+            spec_preserving(state)
+    else:
+        rng = random.Random(seed)
+        for _ in range(samples):
+            state = tuple(rng.randrange(circuit.dim) for _ in range(circuit.num_wires))
+            spec_preserving(state)
+
+
+def mct_spec(
+    controls: Sequence[int],
+    target: int,
+    dim: int,
+    *,
+    control_values: Optional[Sequence[int]] = None,
+    swap: Tuple[int, int] = (0, 1),
+) -> Spec:
+    """Return the specification of a multi-controlled ``X_{ij}`` gate.
+
+    The returned function maps a basis state to the state with the target
+    digit swapped between ``swap[0]`` and ``swap[1]`` exactly when every
+    control digit matches its control value (default all zeros, the paper's
+    ``|0^k⟩-Xij``); every other wire, and in particular any ancilla wire, is
+    left untouched.
+    """
+    values = tuple(control_values) if control_values is not None else (0,) * len(controls)
+    if len(values) != len(controls):
+        raise VerificationError("control_values length must match the number of controls")
+    i, j = swap
+
+    def spec(state: BasisState) -> BasisState:
+        output = list(state)
+        if all(state[c] == v for c, v in zip(controls, values)):
+            if output[target] == i:
+                output[target] = j
+            elif output[target] == j:
+                output[target] = i
+        return tuple(output)
+
+    return spec
+
+
+def mc_shift_spec(
+    controls: Sequence[int],
+    target: int,
+    dim: int,
+    shift: int = 1,
+    *,
+    control_values: Optional[Sequence[int]] = None,
+) -> Spec:
+    """Specification of the multi-controlled ``X+shift`` gate (``|0^k⟩-X+y``)."""
+    values = tuple(control_values) if control_values is not None else (0,) * len(controls)
+
+    def spec(state: BasisState) -> BasisState:
+        output = list(state)
+        if all(state[c] == v for c, v in zip(controls, values)):
+            output[target] = (output[target] + shift) % dim
+        return tuple(output)
+
+    return spec
+
+
+def assert_mct_spec(
+    circuit: QuditCircuit,
+    controls: Sequence[int],
+    target: int,
+    *,
+    control_values: Optional[Sequence[int]] = None,
+    swap: Tuple[int, int] = (0, 1),
+    max_states: int = EXHAUSTIVE_LIMIT,
+    samples: int = 2000,
+    clean_wires: Sequence[int] = (),
+) -> None:
+    """Exhaustively check that ``circuit`` is the multi-controlled ``Xij``
+    on the given wires and acts as the identity on every other wire.
+
+    ``clean_wires`` restricts the check to inputs where those wires are
+    ``|0⟩`` (the contract of clean ancillas)."""
+    spec = mct_spec(controls, target, circuit.dim, control_values=control_values, swap=swap)
+    assert_implements_permutation(
+        circuit, spec, max_states=max_states, samples=samples, clean_wires=clean_wires
+    )
+
+
+def assert_unitary_equiv(
+    circuit: QuditCircuit,
+    expected: np.ndarray,
+    *,
+    atol: float = 1e-8,
+    up_to_global_phase: bool = False,
+) -> None:
+    """Check that the circuit's unitary equals ``expected`` (dense compare)."""
+    actual = circuit_unitary(circuit)
+    if actual.shape != expected.shape:
+        raise VerificationError(
+            f"unitary shape mismatch: circuit {actual.shape}, expected {expected.shape}"
+        )
+    if up_to_global_phase:
+        # Align phases using the largest-magnitude entry of the expected matrix.
+        index = np.unravel_index(np.argmax(np.abs(expected)), expected.shape)
+        if abs(actual[index]) < atol:
+            raise VerificationError("cannot align global phase: mismatched support")
+        phase = expected[index] / actual[index]
+        actual = actual * phase
+    if not np.allclose(actual, expected, atol=atol):
+        deviation = float(np.max(np.abs(actual - expected)))
+        raise VerificationError(
+            f"circuit {circuit.name!r} deviates from the expected unitary by {deviation:.3e}"
+        )
+
+
+def assert_unitary_equiv_with_clean_ancillas(
+    circuit: QuditCircuit,
+    expected: np.ndarray,
+    data_wires: Sequence[int],
+    clean_wires: Sequence[int],
+    *,
+    atol: float = 1e-8,
+) -> None:
+    """Check a circuit that uses clean ancillas against a data-wire unitary.
+
+    The circuit is only required to implement ``expected`` on the subspace
+    where every clean ancilla starts in ``|0⟩`` and to return the ancillas to
+    ``|0⟩`` (i.e. not leak amplitude outside that subspace).  ``expected``
+    acts on the data wires only.
+    """
+    data_wires = tuple(data_wires)
+    clean_wires = tuple(clean_wires)
+    full = circuit_unitary(circuit)
+    dim = circuit.dim
+    size_data = dim ** len(data_wires)
+    if expected.shape != (size_data, size_data):
+        raise VerificationError("expected matrix shape does not match the data wires")
+
+    block = np.zeros((size_data, size_data), dtype=complex)
+    leakage = 0.0
+    for col_data in range(size_data):
+        col_digits = _merge_digits(circuit, data_wires, clean_wires, col_data)
+        col_index = sum(
+            digit * dim ** (circuit.num_wires - 1 - wire) for wire, digit in col_digits.items()
+        )
+        column = full[:, col_index]
+        for row_index, amplitude in enumerate(column):
+            if abs(amplitude) < 1e-14:
+                continue
+            digits = list(_index_digits(row_index, dim, circuit.num_wires))
+            if any(digits[w] != 0 for w in clean_wires):
+                leakage = max(leakage, abs(amplitude))
+                continue
+            row_data = 0
+            for wire in data_wires:
+                row_data = row_data * dim + digits[wire]
+            block[row_data, col_data] += amplitude
+    if leakage > atol:
+        raise VerificationError(
+            f"circuit {circuit.name!r} leaks amplitude {leakage:.3e} into non-zero ancilla states"
+        )
+    if not np.allclose(block, expected, atol=atol):
+        deviation = float(np.max(np.abs(block - expected)))
+        raise VerificationError(
+            f"circuit {circuit.name!r} deviates from the expected unitary by {deviation:.3e} "
+            "on the clean-ancilla subspace"
+        )
+
+
+def _merge_digits(circuit, data_wires, clean_wires, data_index):
+    dim = circuit.dim
+    digits = {wire: 0 for wire in range(circuit.num_wires)}
+    remaining = data_index
+    for wire in reversed(data_wires):
+        digits[wire] = remaining % dim
+        remaining //= dim
+    for wire in clean_wires:
+        digits[wire] = 0
+    return digits
+
+
+def _index_digits(index, dim, num_wires):
+    digits = [0] * num_wires
+    for position in range(num_wires - 1, -1, -1):
+        digits[position] = index % dim
+        index //= dim
+    return digits
+
+
+def assert_permutation_equals_function(
+    circuit: QuditCircuit,
+    function: Callable[[BasisState], Sequence[int]],
+    wires: Sequence[int],
+    *,
+    max_states: int = EXHAUSTIVE_LIMIT,
+    samples: int = 2000,
+    clean_wires: Sequence[int] = (),
+) -> None:
+    """Check that the circuit implements ``function`` on a subset of wires and
+    the identity elsewhere.
+
+    ``function`` receives and returns digit tuples of length ``len(wires)``.
+    Used for reversible-function synthesis (Theorem IV.2), where the function
+    acts on the ``n`` data wires and any extra wire is a borrowed ancilla.
+    """
+    wires = tuple(wires)
+
+    def spec(state: BasisState) -> BasisState:
+        output = list(state)
+        image = tuple(function(tuple(state[w] for w in wires)))
+        if len(image) != len(wires):
+            raise VerificationError("reference function returned wrong arity")
+        for wire, digit in zip(wires, image):
+            output[wire] = digit
+        return tuple(output)
+
+    assert_implements_permutation(
+        circuit, spec, max_states=max_states, samples=samples, clean_wires=clean_wires
+    )

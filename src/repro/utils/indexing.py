@@ -1,0 +1,45 @@
+"""Conversions between computational-basis labels and flat indices.
+
+A basis state of ``n`` qudits of dimension ``d`` is written as a tuple of
+digits ``(x_0, ..., x_{n-1})`` with wire 0 as the most significant digit, so
+that the flat index of ``|x_0 ... x_{n-1}⟩`` is the base-``d`` number
+``x_0 x_1 ... x_{n-1}``.  This matches the usual tensor-product ordering
+``wire0 ⊗ wire1 ⊗ ...`` used by the dense simulators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from repro.exceptions import DimensionError, WireError
+
+
+def digits_to_index(digits: Sequence[int], dim: int) -> int:
+    """Convert a digit tuple (wire 0 most significant) to a flat index."""
+    if dim < 2:
+        raise DimensionError(f"dimension must be at least 2, got {dim}")
+    index = 0
+    for digit in digits:
+        if not 0 <= digit < dim:
+            raise WireError(f"digit {digit} out of range for dimension {dim}")
+        index = index * dim + digit
+    return index
+
+
+def index_to_digits(index: int, dim: int, num_wires: int) -> Tuple[int, ...]:
+    """Convert a flat index back to a digit tuple of length ``num_wires``."""
+    if dim < 2:
+        raise DimensionError(f"dimension must be at least 2, got {dim}")
+    if not 0 <= index < dim**num_wires:
+        raise WireError(f"index {index} out of range for {num_wires} wires of dimension {dim}")
+    digits = [0] * num_wires
+    for position in range(num_wires - 1, -1, -1):
+        digits[position] = index % dim
+        index //= dim
+    return tuple(digits)
+
+
+def iterate_basis(dim: int, num_wires: int) -> Iterator[Tuple[int, ...]]:
+    """Iterate over every computational-basis digit tuple in index order."""
+    for index in range(dim**num_wires):
+        yield index_to_digits(index, dim, num_wires)

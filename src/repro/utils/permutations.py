@@ -1,0 +1,226 @@
+"""Permutation utilities on the set [d] = {0, 1, ..., d-1}.
+
+Permutations are represented as tuples ``p`` of length ``d`` where ``p[x]``
+is the image of ``x``.  The paper manipulates permutations constantly: the
+single-qudit gates ``Xij`` and ``X+y`` are permutations, the synthesis of
+classical reversible functions (Theorem IV.2) decomposes a permutation of
+``[d]^n`` into 2-cycles, and the even-``d`` gadget reasons about parity
+classes of permutations.
+
+Composition convention
+----------------------
+``compose(p, q)`` is the permutation "apply ``q`` first, then ``p``"
+(i.e. ``compose(p, q)[x] == p[q[x]]``).  Lists of transpositions returned by
+:func:`transpositions_of` and :func:`cycle_to_transpositions` are in
+*circuit order*: applying them left to right reproduces the permutation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.exceptions import GateError
+
+Permutation = Tuple[int, ...]
+
+
+def identity_permutation(d: int) -> Permutation:
+    """Return the identity permutation on ``[d]``."""
+    _check_dimension(d)
+    return tuple(range(d))
+
+
+def is_permutation(values: Sequence[int]) -> bool:
+    """Return True if ``values`` is a permutation of ``range(len(values))``."""
+    return sorted(values) == list(range(len(values)))
+
+
+def as_permutation(values: Sequence[int]) -> Permutation:
+    """Validate and normalise ``values`` into a permutation tuple."""
+    perm = tuple(int(v) for v in values)
+    if not is_permutation(perm):
+        raise GateError(f"{values!r} is not a permutation of range({len(perm)})")
+    return perm
+
+
+def compose(p: Sequence[int], q: Sequence[int]) -> Permutation:
+    """Return the permutation that applies ``q`` first and then ``p``."""
+    if len(p) != len(q):
+        raise GateError("cannot compose permutations of different sizes")
+    return tuple(p[q[x]] for x in range(len(p)))
+
+
+def compose_all(perms: Iterable[Sequence[int]], d: int) -> Permutation:
+    """Compose a sequence of permutations given in circuit order.
+
+    ``compose_all([p1, p2, p3], d)`` applies ``p1`` first, then ``p2``, then
+    ``p3``.
+    """
+    result = identity_permutation(d)
+    for perm in perms:
+        result = compose(perm, result)
+    return result
+
+
+def invert(p: Sequence[int]) -> Permutation:
+    """Return the inverse permutation of ``p``."""
+    inverse = [0] * len(p)
+    for x, image in enumerate(p):
+        inverse[image] = x
+    return tuple(inverse)
+
+
+def transposition(d: int, i: int, j: int) -> Permutation:
+    """Return the transposition swapping ``i`` and ``j`` on ``[d]`` (the
+    paper's ``Xij`` gate)."""
+    _check_dimension(d)
+    if i == j:
+        raise GateError("a transposition requires two distinct points")
+    if not (0 <= i < d and 0 <= j < d):
+        raise GateError(f"transposition points ({i}, {j}) out of range for d={d}")
+    values = list(range(d))
+    values[i], values[j] = values[j], values[i]
+    return tuple(values)
+
+
+def cycle_plus(d: int, y: int) -> Permutation:
+    """Return the cyclic shift ``x -> (x + y) mod d`` (the paper's ``X+y``)."""
+    _check_dimension(d)
+    return tuple((x + y) % d for x in range(d))
+
+
+def permutation_from_cycles(d: int, cycles: Iterable[Sequence[int]]) -> Permutation:
+    """Build a permutation from disjoint cycles.
+
+    Each cycle ``(c0, c1, ..., cm)`` maps ``c0 -> c1 -> ... -> cm -> c0``.
+    """
+    _check_dimension(d)
+    values = list(range(d))
+    seen = set()
+    for cycle in cycles:
+        if len(set(cycle)) != len(cycle):
+            raise GateError(f"cycle {cycle!r} repeats an element")
+        for element in cycle:
+            if not 0 <= element < d:
+                raise GateError(f"cycle element {element} out of range for d={d}")
+            if element in seen:
+                raise GateError(f"cycles are not disjoint at element {element}")
+            seen.add(element)
+        for index, element in enumerate(cycle):
+            values[element] = cycle[(index + 1) % len(cycle)]
+    return tuple(values)
+
+
+def cycles_of(p: Sequence[int], include_fixed_points: bool = False) -> List[Tuple[int, ...]]:
+    """Return the cycle decomposition of ``p``.
+
+    Cycles of length 1 (fixed points) are omitted unless
+    ``include_fixed_points`` is True.  Each cycle starts at its smallest
+    element and cycles are sorted by that element.
+    """
+    perm = as_permutation(p)
+    visited = [False] * len(perm)
+    cycles: List[Tuple[int, ...]] = []
+    for start in range(len(perm)):
+        if visited[start]:
+            continue
+        cycle = [start]
+        visited[start] = True
+        current = perm[start]
+        while current != start:
+            cycle.append(current)
+            visited[current] = True
+            current = perm[current]
+        if len(cycle) > 1 or include_fixed_points:
+            cycles.append(tuple(cycle))
+    return cycles
+
+
+def cycle_to_transpositions(cycle: Sequence[int]) -> List[Tuple[int, int]]:
+    """Decompose one cycle into transpositions in circuit order.
+
+    The cycle ``(c0, c1, ..., cm)`` equals the product of transpositions
+    ``(c0 c1), (c0 c2), ..., (c0 cm)`` applied left to right.
+    """
+    anchor = cycle[0]
+    return [(anchor, element) for element in cycle[1:]]
+
+
+def transpositions_of(p: Sequence[int]) -> List[Tuple[int, int]]:
+    """Decompose ``p`` into transpositions, in circuit order.
+
+    The paper uses this repeatedly: ``X+y`` decomposes into at most ``d - 1``
+    ``Xij`` gates (Sec. II), and any reversible function decomposes into
+    2-cycles (Theorem IV.2).
+    """
+    result: List[Tuple[int, int]] = []
+    for cycle in cycles_of(p):
+        result.extend(cycle_to_transpositions(cycle))
+    return result
+
+
+def parity(p: Sequence[int]) -> int:
+    """Return 0 if ``p`` is an even permutation and 1 if it is odd.
+
+    Used by the ancilla lower-bound argument after Theorem III.2: for even
+    ``d`` every G-gate is an even permutation of the computational basis
+    while the k-Toffoli is odd, hence one borrowed ancilla is necessary.
+    """
+    return len(transpositions_of(p)) % 2
+
+
+def is_involution(p: Sequence[int]) -> bool:
+    """Return True if ``p`` composed with itself is the identity."""
+    perm = as_permutation(p)
+    return compose(perm, perm) == identity_permutation(len(perm))
+
+
+def is_transposition(p: Sequence[int]) -> bool:
+    """Return True if ``p`` swaps exactly two points."""
+    cycles = cycles_of(p)
+    return len(cycles) == 1 and len(cycles[0]) == 2
+
+
+def fixed_points(p: Sequence[int]) -> Tuple[int, ...]:
+    """Return the fixed points of ``p``."""
+    return tuple(x for x, image in enumerate(p) if image == x)
+
+
+def all_cycles_even_length(p: Sequence[int]) -> bool:
+    """Return True if every cycle of ``p`` (including fixed points) has even
+    length.  Such permutations map some set S onto its complement, which is
+    what the even-``d`` two-controlled gadget needs."""
+    return all(len(c) % 2 == 0 for c in cycles_of(p, include_fixed_points=True))
+
+
+def alternating_set(p: Sequence[int]) -> Tuple[int, ...]:
+    """Return a set ``S`` with ``p(S) == complement(S)``.
+
+    Requires every cycle of ``p`` to have even length; the set is built by
+    2-colouring each cycle alternately.  Raises :class:`GateError` otherwise.
+    """
+    if not all_cycles_even_length(p):
+        raise GateError("permutation has an odd-length cycle; no alternating set exists")
+    members: List[int] = []
+    for cycle in cycles_of(p, include_fixed_points=True):
+        members.extend(cycle[0::2])
+    return tuple(sorted(members))
+
+
+def parity_of_value(value: int) -> int:
+    """Return ``value mod 2`` — the odd/even classification the paper's
+    \\|o⟩- and \\|e⟩-controls use."""
+    return value % 2
+
+
+def random_permutation(d: int, rng) -> Permutation:
+    """Return a uniformly random permutation of ``[d]`` using ``rng``
+    (a :class:`random.Random` or ``numpy`` generator exposing ``shuffle``)."""
+    values = list(range(d))
+    rng.shuffle(values)
+    return tuple(values)
+
+
+def _check_dimension(d: int) -> None:
+    if d < 1:
+        raise GateError(f"dimension must be positive, got {d}")

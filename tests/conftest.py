@@ -1,0 +1,35 @@
+"""Shared pytest fixtures and helpers for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim import apply_to_basis
+from repro.utils.indexing import iterate_basis
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for tests."""
+    return random.Random(20230323)
+
+
+def exhaustive_states(dim: int, num_wires: int, limit: int = 250_000):
+    """All basis states if the space is small enough, else a deterministic sample."""
+    total = dim**num_wires
+    if total <= limit:
+        yield from iterate_basis(dim, num_wires)
+        return
+    sampler = random.Random(99)
+    for _ in range(2000):
+        yield tuple(sampler.randrange(dim) for _ in range(num_wires))
+
+
+def circuit_matches_function(circuit, spec, limit: int = 250_000) -> bool:
+    """Return True if the circuit maps every (sampled) basis state per ``spec``."""
+    for state in exhaustive_states(circuit.dim, circuit.num_wires, limit):
+        if apply_to_basis(circuit, state) != tuple(spec(state)):
+            return False
+    return True

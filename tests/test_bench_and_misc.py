@@ -1,0 +1,123 @@
+"""Tests for the benchmark table builders, the drawer and ancilla bookkeeping."""
+
+import pytest
+
+from repro.bench.formatting import render_series, render_table
+from repro.bench.tables import (
+    ancilla_count_rows,
+    baseline_comparison_rows,
+    cliffordt_rows,
+    linearity_summary,
+    mcu_rows,
+    reversible_rows,
+    toffoli_scaling_rows,
+    unitary_synthesis_rows,
+)
+from repro.core.toffoli import synthesize_mct
+from repro.qudit.ancilla import AncillaKind, SynthesisResult
+from repro.qudit.circuit import QuditCircuit
+from repro.qudit.drawer import draw
+from repro.qudit.gates import XPerm, XPlus
+from repro.qudit.controls import Value
+from repro.qudit.operations import StarShiftOp
+
+
+class TestFormatting:
+    def test_render_table(self):
+        text = render_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], title="T")
+        assert "T" in text and "22" in text and "yy" in text
+
+    def test_render_table_empty(self):
+        assert "(no data)" in render_table([], title="empty")
+
+    def test_render_series(self):
+        text = render_series({"g": [1.0, 2.0]}, x_label="k")
+        assert "g" in text and "k" in text
+
+    def test_float_formatting(self):
+        text = render_table([{"v": 1234567.0}, {"v": 0.25}])
+        assert "e+06" in text or "1234567" in text
+
+
+class TestTableBuilders:
+    def test_toffoli_scaling_rows(self):
+        rows = toffoli_scaling_rows([3], [2, 3, 4])
+        assert len(rows) == 3
+        assert all(row["d"] == 3 for row in rows)
+        assert rows[0]["g_gates"] < rows[-1]["g_gates"]
+
+    def test_linearity_summary(self):
+        rows = toffoli_scaling_rows([3], [3, 4, 5, 6])
+        summary = linearity_summary(rows)
+        assert summary and summary[0]["growth"] == "linear"
+
+    def test_baseline_comparison_rows(self):
+        rows = baseline_comparison_rows(3, [3])
+        methods = {row["method"] for row in rows}
+        assert any("this paper" in m for m in methods)
+        assert any("clean-ancilla" in m for m in methods)
+
+    def test_ancilla_count_rows(self):
+        rows = ancilla_count_rows([3, 4], [4])
+        ours = {row["d"]: row["ours_ancillas"] for row in rows}
+        assert ours[3] == 0 and ours[4] == 1
+
+    def test_mcu_rows(self):
+        rows = mcu_rows([3], [2, 3])
+        assert all(row["clean_ancillas"] == 1 for row in rows)
+
+    def test_unitary_rows(self):
+        rows = unitary_synthesis_rows([(3, 1, 0), (3, 2, 1)])
+        assert rows[0]["clean_ancillas_ours"] == 0
+
+    def test_reversible_rows(self):
+        rows = reversible_rows([3], [1, 2])
+        assert all(row["measured_ops"] >= 0 for row in rows)
+        assert rows[-1]["n*d^n"] == 2 * 9
+
+    def test_cliffordt_rows(self):
+        rows = cliffordt_rows([2, 3])
+        assert all(row["ours_T"] > 0 for row in rows)
+
+
+class TestDrawer:
+    def test_draw_contains_labels(self):
+        circuit = QuditCircuit(3, 3, name="demo")
+        circuit.add_gate(XPlus(3, 1), 0)
+        circuit.add_gate(XPerm.transposition(3, 0, 1), 1, [(0, Value(0))])
+        circuit.append(StarShiftOp(0, 2, -1, [(1, Value(0))]))
+        text = draw(circuit, wire_labels=["x1", "x2", "t"])
+        assert "x1" in text and "X+1" in text and "X-⋆" in text
+
+    def test_draw_truncates(self):
+        circuit = QuditCircuit(1, 3)
+        for _ in range(50):
+            circuit.add_gate(XPlus(3, 1), 0)
+        text = draw(circuit, max_columns=10)
+        assert "..." in text
+
+    def test_draw_handles_bad_labels(self):
+        circuit = QuditCircuit(2, 3)
+        circuit.add_gate(XPlus(3, 1), 0)
+        assert "q0" in draw(circuit, wire_labels=["only-one"])
+
+
+class TestSynthesisResult:
+    def test_describe_and_queries(self):
+        result = synthesize_mct(4, 3)
+        text = result.describe()
+        assert "borrowed" in text
+        assert result.borrowed_wires() == (4,)
+        assert result.clean_wires() == ()
+        assert result.dim == 4
+
+    def test_ancilla_kind_properties(self):
+        assert AncillaKind.CLEAN.requires_zero_start
+        assert AncillaKind.CLEAN.requires_restoration
+        assert AncillaKind.BORROWED.requires_restoration
+        assert not AncillaKind.GARBAGE.requires_restoration
+        assert AncillaKind.BURNABLE.requires_zero_start
+
+    def test_ancilla_free_describe(self):
+        result = synthesize_mct(3, 2)
+        assert "ancilla-free" in result.describe()

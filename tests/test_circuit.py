@@ -1,0 +1,141 @@
+"""Tests for the QuditCircuit IR."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DimensionError, WireError
+from repro.qudit.circuit import QuditCircuit, controlled
+from repro.qudit.controls import Value
+from repro.qudit.gates import XPerm, XPlus
+from repro.qudit.operations import Operation, StarShiftOp
+from repro.sim import apply_to_basis
+from repro.utils.indexing import iterate_basis
+
+
+def small_circuit(dim=3, wires=3):
+    circuit = QuditCircuit(wires, dim)
+    circuit.add_gate(XPlus(dim, 1), 0)
+    circuit.add_gate(XPerm.transposition(dim, 0, 1), 1, [(0, Value(0))])
+    circuit.append(StarShiftOp(0, 2, +1, [(1, Value(1))]))
+    return circuit
+
+
+class TestConstruction:
+    def test_requires_valid_shape(self):
+        with pytest.raises(DimensionError):
+            QuditCircuit(2, 1)
+        with pytest.raises(WireError):
+            QuditCircuit(0, 3)
+
+    def test_append_validates_wires(self):
+        circuit = QuditCircuit(2, 3)
+        with pytest.raises(WireError):
+            circuit.add_gate(XPlus(3, 1), 5)
+
+    def test_append_validates_dimension(self):
+        circuit = QuditCircuit(2, 3)
+        with pytest.raises(DimensionError):
+            circuit.add_gate(XPlus(4, 1), 0)
+
+    def test_compose_rejects_other_dimension(self):
+        a = QuditCircuit(2, 3)
+        b = QuditCircuit(2, 4)
+        with pytest.raises(DimensionError):
+            a.compose(b)
+
+    def test_compose_extends_ops(self):
+        a = small_circuit()
+        b = QuditCircuit(3, 3)
+        b.add_gate(XPlus(3, 2), 2)
+        combined = a.copy().compose(b)
+        assert combined.num_ops() == a.num_ops() + 1
+
+    def test_controlled_helper(self):
+        op = controlled(XPlus(3, 1), 1, 0, Value(2))
+        assert op.controls == ((0, Value(2)),)
+
+
+class TestQueries:
+    def test_counts(self):
+        circuit = small_circuit()
+        assert circuit.num_ops() == 3
+        assert circuit.single_qudit_count() == 1
+        assert circuit.two_qudit_count() == 1
+        assert circuit.multi_qudit_count() == 1
+        assert circuit.max_span() == 3
+
+    def test_used_and_targeted_wires(self):
+        circuit = small_circuit()
+        assert circuit.used_wires() == (0, 1, 2)
+        assert circuit.targeted_wires() == (0, 1, 2)
+
+    def test_depth(self):
+        circuit = QuditCircuit(3, 3)
+        circuit.add_gate(XPlus(3, 1), 0)
+        circuit.add_gate(XPlus(3, 1), 1)
+        assert circuit.depth() == 1
+        circuit.add_gate(XPerm.transposition(3, 0, 1), 1, [(0, Value(0))])
+        assert circuit.depth() == 2
+
+    def test_label_histogram(self):
+        histogram = small_circuit().label_histogram()
+        assert sum(histogram.values()) == 3
+
+    def test_is_permutation(self):
+        assert small_circuit().is_permutation
+
+    def test_g_circuit_detection(self):
+        circuit = QuditCircuit(2, 3)
+        circuit.add_gate(XPerm.transposition(3, 0, 1), 0)
+        circuit.add_gate(XPerm.transposition(3, 0, 1), 1, [(0, Value(0))])
+        assert circuit.is_g_circuit()
+        assert circuit.g_gate_count() == 2
+
+
+class TestInverseAndRemap:
+    def test_inverse_undoes_circuit(self):
+        circuit = small_circuit()
+        undo = circuit.inverse()
+        for state in iterate_basis(3, 3):
+            forward = apply_to_basis(circuit, state)
+            assert apply_to_basis(undo, forward) == state
+
+    def test_remap_wires(self):
+        circuit = small_circuit()
+        remapped = circuit.remap_wires({0: 2, 1: 1, 2: 0})
+        for state in iterate_basis(3, 3):
+            direct = apply_to_basis(circuit, state)
+            swapped_in = (state[2], state[1], state[0])
+            swapped_out = apply_to_basis(remapped, swapped_in)
+            assert swapped_out == (direct[2], direct[1], direct[0])
+
+    def test_remap_requires_all_wires(self):
+        with pytest.raises(WireError):
+            small_circuit().remap_wires({0: 0, 1: 1})
+
+
+class TestProperties:
+    @given(st.integers(min_value=2, max_value=5), st.integers(min_value=1, max_value=3),
+           st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_inverse_roundtrip_random_circuits(self, dim, wires, data):
+        circuit = QuditCircuit(wires, dim)
+        num_ops = data.draw(st.integers(min_value=0, max_value=6))
+        for _ in range(num_ops):
+            target = data.draw(st.integers(min_value=0, max_value=wires - 1))
+            shift = data.draw(st.integers(min_value=0, max_value=dim - 1))
+            others = [w for w in range(wires) if w != target]
+            if others and data.draw(st.booleans()):
+                control = data.draw(st.sampled_from(others))
+                val = data.draw(st.integers(min_value=0, max_value=dim - 1))
+                circuit.add_gate(XPlus(dim, shift), target, [(control, Value(val))])
+            else:
+                circuit.add_gate(XPlus(dim, shift), target)
+        undo = circuit.inverse()
+        state = tuple(data.draw(st.integers(min_value=0, max_value=dim - 1)) for _ in range(wires))
+        assert apply_to_basis(undo, apply_to_basis(circuit, state)) == state
+
+    def test_inverse_reverses_op_order(self):
+        circuit = small_circuit()
+        assert circuit.inverse().num_ops() == circuit.num_ops()

@@ -1,0 +1,121 @@
+"""Tests for control predicates and circuit operations."""
+
+import pytest
+
+from repro.exceptions import GateError, WireError
+from repro.qudit.controls import EvenNonZero, InSet, Odd, Value, value
+from repro.qudit.gates import XPerm, XPlus
+from repro.qudit.operations import Operation, StarShiftOp
+
+
+class TestPredicates:
+    def test_value(self):
+        pred = Value(2)
+        assert pred.satisfied_by(2, 5)
+        assert not pred.satisfied_by(1, 5)
+        assert pred.values(5) == (2,)
+
+    def test_value_out_of_range(self):
+        with pytest.raises(GateError):
+            Value(4).satisfied_by(0, 3)
+
+    def test_value_rejects_negative(self):
+        with pytest.raises(GateError):
+            Value(-1)
+
+    def test_odd(self):
+        assert Odd().values(6) == (1, 3, 5)
+        assert Odd().values(5) == (1, 3)
+
+    def test_even_nonzero(self):
+        assert EvenNonZero().values(6) == (2, 4)
+        assert EvenNonZero().values(7) == (2, 4, 6)
+        assert not EvenNonZero().satisfied_by(0, 5)
+
+    def test_in_set(self):
+        pred = InSet(frozenset({0, 2}))
+        assert pred.values(4) == (0, 2)
+
+    def test_in_set_empty_rejected(self):
+        with pytest.raises(GateError):
+            InSet(frozenset())
+
+    def test_equality_and_hash(self):
+        assert Value(1) == value(1)
+        assert Odd() == Odd()
+        assert Value(1) != Value(2)
+        assert len({Value(1), Value(1), Odd()}) == 2
+
+
+class TestOperation:
+    def test_wires_and_span(self):
+        op = Operation(XPerm.transposition(3, 0, 1), 2, [(0, Value(0))])
+        assert op.wires() == (0, 2)
+        assert op.span() == 2
+        assert op.is_two_qudit()
+
+    def test_duplicate_wires_rejected(self):
+        with pytest.raises(WireError):
+            Operation(XPerm.transposition(3, 0, 1), 1, [(1, Value(0))])
+
+    def test_apply_fires_only_when_controls_match(self):
+        op = Operation(XPerm.transposition(3, 0, 1), 1, [(0, Value(0))])
+        state = [0, 0]
+        op.apply_to_basis(state, 3)
+        assert state == [0, 1]
+        state = [2, 0]
+        op.apply_to_basis(state, 3)
+        assert state == [2, 0]
+
+    def test_inverse(self):
+        op = Operation(XPlus(3, 1), 1, [(0, Odd())])
+        inv = op.inverse()
+        state = [1, 2]
+        op.apply_to_basis(state, 3)
+        inv.apply_to_basis(state, 3)
+        assert state == [1, 2]
+
+    def test_is_g_gate(self):
+        d = 4
+        assert Operation(XPerm.transposition(d, 0, 1), 0).is_g_gate(d)
+        assert Operation(XPerm.transposition(d, 2, 3), 1).is_g_gate(d)
+        assert Operation(XPerm.transposition(d, 0, 1), 1, [(0, Value(0))]).is_g_gate(d)
+        # controlled X23 is not in G
+        assert not Operation(XPerm.transposition(d, 2, 3), 1, [(0, Value(0))]).is_g_gate(d)
+        # |1>-controlled X01 is not in G
+        assert not Operation(XPerm.transposition(d, 0, 1), 1, [(0, Value(1))]).is_g_gate(d)
+        # two controls is not in G
+        assert not Operation(
+            XPerm.transposition(d, 0, 1), 2, [(0, Value(0)), (1, Value(0))]
+        ).is_g_gate(d)
+
+
+class TestStarShiftOp:
+    def test_applies_star_value(self):
+        op = StarShiftOp(0, 2, +1, [(1, Value(0))])
+        state = [2, 0, 1]
+        op.apply_to_basis(state, 5)
+        assert state == [2, 0, 3]
+
+    def test_blocked_by_control(self):
+        op = StarShiftOp(0, 2, +1, [(1, Value(0))])
+        state = [2, 4, 1]
+        op.apply_to_basis(state, 5)
+        assert state == [2, 4, 1]
+
+    def test_negative_shift_and_inverse(self):
+        op = StarShiftOp(0, 1, -1)
+        state = [3, 1]
+        op.apply_to_basis(state, 5)
+        assert state == [3, 3]
+        op.inverse().apply_to_basis(state, 5)
+        assert state == [3, 1]
+
+    def test_invalid_sign(self):
+        with pytest.raises(GateError):
+            StarShiftOp(0, 1, 2)
+
+    def test_num_controls_counts_star(self):
+        op = StarShiftOp(0, 2, +1, [(1, Value(0))])
+        assert op.num_controls == 2
+        assert not op.is_g_gate(5)

@@ -1,0 +1,110 @@
+"""Tests for the single-qudit gate model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError, GateError
+from repro.qudit.gates import SingleQuditUnitary, XPerm, XPlus
+
+
+class TestXPerm:
+    def test_transposition_constructor(self):
+        gate = XPerm.transposition(4, 1, 3)
+        assert gate.permutation() == (0, 3, 2, 1)
+        assert gate.is_transposition()
+        assert gate.transposition_points() == (1, 3)
+        assert gate.label == "X13"
+
+    def test_transposition_points_requires_transposition(self):
+        with pytest.raises(GateError):
+            XPerm((1, 2, 0)).transposition_points()
+
+    def test_identity(self):
+        assert XPerm.identity(3).is_identity()
+
+    def test_matrix_is_permutation_matrix(self):
+        gate = XPerm.transposition(3, 0, 2)
+        matrix = gate.matrix()
+        assert np.allclose(matrix @ matrix, np.eye(3))
+        assert np.allclose(matrix, gate.matrix().T)
+
+    def test_inverse(self):
+        gate = XPerm((1, 2, 0))
+        inverse = gate.inverse()
+        assert inverse.permutation() == (2, 0, 1)
+
+    def test_even_odd_swap(self):
+        gate = XPerm.even_odd_swap(4)
+        assert gate.permutation() == (1, 0, 3, 2)
+
+    def test_even_odd_swap_flips_parity_everywhere(self):
+        gate = XPerm.even_odd_swap(6)
+        assert all((gate.permutation()[x] % 2) != (x % 2) for x in range(6))
+
+    def test_even_odd_swap_requires_even_dim(self):
+        with pytest.raises(DimensionError):
+            XPerm.even_odd_swap(5)
+
+    def test_odd_even_swap(self):
+        gate = XPerm.odd_even_swap(5)
+        assert gate.permutation() == (0, 2, 1, 4, 3)
+
+    def test_odd_even_swap_fixes_zero(self):
+        gate = XPerm.odd_even_swap(7)
+        assert gate.permutation()[0] == 0
+
+    def test_odd_even_swap_requires_odd_dim(self):
+        with pytest.raises(DimensionError):
+            XPerm.odd_even_swap(4)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(GateError):
+            XPerm((0, 0, 1))
+
+    def test_equality(self):
+        assert XPerm.transposition(3, 0, 1) == XPerm((1, 0, 2))
+        assert XPerm.transposition(3, 0, 1) != XPerm.transposition(3, 0, 2)
+
+
+class TestXPlus:
+    def test_permutation(self):
+        assert XPlus(5, 2).permutation() == (2, 3, 4, 0, 1)
+
+    def test_shift_wraps(self):
+        assert XPlus(3, 5).shift == 2
+
+    def test_inverse(self):
+        gate = XPlus(5, 2)
+        assert gate.inverse().permutation() == (3, 4, 0, 1, 2)
+
+    def test_matrix_matches_permutation(self):
+        gate = XPlus(4, 1)
+        matrix = gate.matrix()
+        assert np.isclose(matrix[1, 0], 1.0)
+
+    def test_identity_shift(self):
+        assert XPlus(4, 0).is_identity()
+
+
+class TestSingleQuditUnitary:
+    def test_accepts_unitary(self):
+        gate = SingleQuditUnitary(np.eye(3))
+        assert gate.dim == 3
+        assert not gate.is_permutation
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(GateError):
+            SingleQuditUnitary(np.ones((3, 3)))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(GateError):
+            SingleQuditUnitary(np.zeros((2, 3)))
+
+    def test_inverse_is_adjoint(self):
+        matrix = np.diag([1, 1j, -1])
+        gate = SingleQuditUnitary(matrix)
+        assert np.allclose(gate.inverse().matrix(), matrix.conj().T)
+
+    def test_permutation_raises(self):
+        with pytest.raises(GateError):
+            SingleQuditUnitary(np.eye(3)).permutation()

@@ -1,0 +1,157 @@
+"""Unit and property tests for the permutation utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GateError
+from repro.utils import permutations as perm
+
+
+def random_perm_strategy(max_d=9):
+    return st.integers(min_value=2, max_value=max_d).flatmap(
+        lambda d: st.permutations(list(range(d)))
+    )
+
+
+class TestBasics:
+    def test_identity(self):
+        assert perm.identity_permutation(4) == (0, 1, 2, 3)
+
+    def test_identity_rejects_nonpositive(self):
+        with pytest.raises(GateError):
+            perm.identity_permutation(0)
+
+    def test_as_permutation_validates(self):
+        with pytest.raises(GateError):
+            perm.as_permutation([0, 0, 1])
+
+    def test_transposition(self):
+        assert perm.transposition(4, 1, 3) == (0, 3, 2, 1)
+
+    def test_transposition_rejects_equal_points(self):
+        with pytest.raises(GateError):
+            perm.transposition(4, 2, 2)
+
+    def test_transposition_rejects_out_of_range(self):
+        with pytest.raises(GateError):
+            perm.transposition(3, 0, 3)
+
+    def test_cycle_plus(self):
+        assert perm.cycle_plus(5, 2) == (2, 3, 4, 0, 1)
+
+    def test_cycle_plus_wraps(self):
+        assert perm.cycle_plus(3, 4) == perm.cycle_plus(3, 1)
+
+    def test_compose_order(self):
+        p = perm.transposition(3, 0, 1)
+        q = perm.cycle_plus(3, 1)
+        # compose(p, q) applies q first: 0 -> 1 -> 0
+        assert perm.compose(p, q)[0] == 0
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(GateError):
+            perm.compose((0, 1), (0, 1, 2))
+
+    def test_invert(self):
+        p = perm.cycle_plus(5, 2)
+        assert perm.compose(perm.invert(p), p) == perm.identity_permutation(5)
+
+    def test_from_cycles(self):
+        assert perm.permutation_from_cycles(4, [(0, 1, 2)]) == (1, 2, 0, 3)
+
+    def test_from_cycles_rejects_overlap(self):
+        with pytest.raises(GateError):
+            perm.permutation_from_cycles(4, [(0, 1), (1, 2)])
+
+    def test_from_cycles_rejects_repeat_in_cycle(self):
+        with pytest.raises(GateError):
+            perm.permutation_from_cycles(4, [(0, 1, 0)])
+
+    def test_cycles_of(self):
+        p = perm.permutation_from_cycles(5, [(0, 1), (2, 3, 4)])
+        assert perm.cycles_of(p) == [(0, 1), (2, 3, 4)]
+
+    def test_cycles_of_with_fixed_points(self):
+        p = perm.transposition(4, 0, 1)
+        assert perm.cycles_of(p, include_fixed_points=True) == [(0, 1), (2,), (3,)]
+
+    def test_fixed_points(self):
+        assert perm.fixed_points(perm.transposition(4, 0, 1)) == (2, 3)
+
+    def test_is_involution(self):
+        assert perm.is_involution(perm.transposition(5, 1, 3))
+        assert not perm.is_involution(perm.cycle_plus(5, 1))
+
+    def test_is_transposition(self):
+        assert perm.is_transposition(perm.transposition(6, 2, 5))
+        assert not perm.is_transposition(perm.cycle_plus(6, 1))
+
+    def test_parity_of_transposition_is_odd(self):
+        assert perm.parity(perm.transposition(5, 0, 3)) == 1
+
+    def test_parity_of_value(self):
+        assert perm.parity_of_value(4) == 0
+        assert perm.parity_of_value(7) == 1
+
+
+class TestDecompositions:
+    @given(random_perm_strategy())
+    @settings(max_examples=80, deadline=None)
+    def test_transpositions_recompose(self, p):
+        p = tuple(p)
+        d = len(p)
+        rebuilt = perm.identity_permutation(d)
+        for i, j in perm.transpositions_of(p):
+            rebuilt = perm.compose(perm.transposition(d, i, j), rebuilt)
+        assert rebuilt == p
+
+    @given(random_perm_strategy())
+    @settings(max_examples=80, deadline=None)
+    def test_invert_roundtrip(self, p):
+        p = tuple(p)
+        assert perm.invert(perm.invert(p)) == p
+
+    @given(random_perm_strategy())
+    @settings(max_examples=80, deadline=None)
+    def test_parity_matches_transposition_count(self, p):
+        p = tuple(p)
+        assert perm.parity(p) == len(perm.transpositions_of(p)) % 2
+
+    @given(random_perm_strategy(max_d=8), random_perm_strategy(max_d=8))
+    @settings(max_examples=60, deadline=None)
+    def test_parity_is_homomorphism(self, p, q):
+        p, q = tuple(p), tuple(q)
+        if len(p) != len(q):
+            return
+        assert perm.parity(perm.compose(p, q)) == (perm.parity(p) + perm.parity(q)) % 2
+
+    def test_cycle_to_transpositions(self):
+        assert perm.cycle_to_transpositions((0, 2, 3)) == [(0, 2), (0, 3)]
+
+
+class TestAlternatingSet:
+    def test_even_cycles_give_alternating_set(self):
+        p = perm.permutation_from_cycles(6, [(0, 1), (2, 3), (4, 5)])
+        s = set(perm.alternating_set(p))
+        complement = set(range(6)) - s
+        assert {p[x] for x in s} == complement
+
+    def test_four_cycle(self):
+        p = perm.permutation_from_cycles(4, [(0, 1, 2, 3)])
+        s = set(perm.alternating_set(p))
+        assert {p[x] for x in s} == set(range(4)) - s
+
+    def test_odd_cycle_rejected(self):
+        with pytest.raises(GateError):
+            perm.alternating_set(perm.permutation_from_cycles(5, [(0, 1, 2)]))
+
+    def test_all_cycles_even_length(self):
+        assert perm.all_cycles_even_length(perm.permutation_from_cycles(4, [(0, 1), (2, 3)]))
+        assert not perm.all_cycles_even_length(perm.transposition(4, 0, 1))
+
+
+class TestRandom:
+    def test_random_permutation_is_permutation(self, rng):
+        p = perm.random_permutation(7, rng)
+        assert perm.is_permutation(p)
