@@ -12,6 +12,23 @@ Quick start
 >>> result = synthesize_mct(dim=3, num_controls=4)      # ancilla-free, odd d
 >>> verify.assert_mct_spec(result.circuit, result.controls, result.target)
 >>> result.circuit.num_ops()                            # doctest: +SKIP
+
+Simulation backends and the pass pipeline
+-----------------------------------------
+The dense simulators are vectorized and backend-pluggable: pass
+``backend="dense"`` (flat gather tables, the default) or ``backend="tensor"``
+(axis-wise tensor ops) to :class:`verify.Statevector`,
+:func:`verify.circuit_unitary` and the ``verify.assert_*`` helpers;
+``verify.available_backends()`` lists the registered engines.
+
+Lowering runs a composable pass pipeline (:mod:`repro.passes` —
+``ExpandMacros`` plus peephole cleanups that only ever shrink gate counts);
+:func:`lower_to_g_gates` is the unchanged-for-callers facade over it:
+
+>>> from repro import lower_to_g_gates
+>>> from repro.passes import default_lowering_pipeline
+>>> lowered = lower_to_g_gates(result.circuit)          # same API as always
+>>> state = verify.Statevector(5, 3, backend="tensor")  # pick an engine
 """
 
 from repro.core import (
@@ -39,11 +56,27 @@ from repro.qudit import (
     XPlus,
     draw,
 )
+from repro.passes import (
+    CancelAdjacentInverses,
+    DropIdentities,
+    ExpandMacros,
+    FuseSingleQuditGates,
+    Pass,
+    PassPipeline,
+    default_lowering_pipeline,
+)
 from repro import sim as verify
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CancelAdjacentInverses",
+    "DropIdentities",
+    "ExpandMacros",
+    "FuseSingleQuditGates",
+    "Pass",
+    "PassPipeline",
+    "default_lowering_pipeline",
     "GateCountReport",
     "count_gates",
     "lower_to_g_gates",

@@ -31,6 +31,7 @@ from repro.qudit.circuit import QuditCircuit
 from repro.qudit.gates import SingleQuditUnitary
 from repro.qudit.operations import BaseOp, Operation
 from repro.core.multi_controlled_unitary import mcu_ops
+from repro.sim.backend import BackendLike
 from repro.sim.statevector import Statevector
 
 
@@ -149,11 +150,19 @@ class GroverOutcome:
 
 
 def run_grover(
-    dim: int, n: int, marked: Sequence[int], iterations: Optional[int] = None
+    dim: int,
+    n: int,
+    marked: Sequence[int],
+    iterations: Optional[int] = None,
+    *,
+    backend: BackendLike = None,
 ) -> GroverOutcome:
-    """Simulate Grover search and report the success probability."""
+    """Simulate Grover search and report the success probability.
+
+    ``backend`` selects the simulation engine (see :mod:`repro.sim.backend`).
+    """
     result = grover_circuit(dim, n, marked, iterations)
-    state = Statevector(result.circuit.num_wires, dim)
+    state = Statevector(result.circuit.num_wires, dim, backend=backend)
     state.apply_circuit(result.circuit)
     padded = tuple(marked) + (0,) * (result.circuit.num_wires - n)
     probability = state.probability(padded)

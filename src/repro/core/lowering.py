@@ -1,141 +1,33 @@
-"""Lowering pass: expand macro operations down to the G-gate set.
+"""Lowering facade: expand macro operations down to the G-gate set.
 
-The synthesis routines emit circuits whose operations are at most
-"two-controlled macros": singly-controlled permutation gates with arbitrary
-predicates, two-controlled permutation gates, and the ``|⋆⟩|0⟩-X±⋆`` star
-gates.  The paper's cost metric, however, is the number of G-gates
-(``G = {Xij} ∪ {|0⟩-X01}``).  :func:`lower_to_g_gates` rewrites a circuit so
-that every operation is literally a G-gate, applying the following rules
-until a fixed point is reached:
-
-1. an uncontrolled permutation gate → its transposition decomposition;
-2. ``|l⟩-Xij`` → conjugated ``|0⟩-X01`` (Section II's observation);
-3. a singly-controlled permutation with an ``Odd``/``EvenNonZero``/set
-   predicate → a product over its firing values;
-4. a two-controlled permutation → the Lemma III.3 gadget (odd ``d``,
-   ancilla-free) or the Lemma III.1 gadget (even ``d``, borrowing the
-   lowest-index idle wire of the circuit — the paper borrows idle control
-   wires in exactly the same way);
-5. a star gate → a product of two-controlled ``X+y`` gates over the star
-   wire's values ``y = 1 .. d−1`` (Fig. 6), which rule 4 then expands.
-
-Operations with three or more value controls are rejected: producing those
-is the job of the multi-controlled synthesis itself, not of the lowering
-pass.
+Historically this module housed a monolithic fixed-point rewriter.  The
+machinery now lives in the composable pass pipeline under
+:mod:`repro.passes` (:class:`~repro.passes.ExpandMacros` plus the peephole
+cleanup passes); :func:`lower_to_g_gates` is kept as a thin compatibility
+wrapper so every existing caller keeps working unchanged.  The optimization
+passes in the default pipeline only remove or merge operations, so lowered
+G-gate counts can shrink relative to plain expansion but never grow.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
-
 from repro.exceptions import SynthesisError
 from repro.qudit.circuit import QuditCircuit
-from repro.qudit.controls import Value
-from repro.qudit.gates import XPerm
-from repro.qudit.operations import BaseOp, Operation, StarShiftOp
-from repro.core.single_controlled import (
-    controlled_permutation_g_ops,
-    controlled_transposition_g_ops,
-    transposition_ops,
-)
-from repro.core.two_controlled import two_controlled_transposition_ops
-from repro.utils import permutations as perm_utils
 
-#: Safety bound on the number of rewriting sweeps.
+#: Safety bound on the number of rewriting sweeps, threaded through to
+#: :class:`~repro.passes.ExpandMacros` below.
 _MAX_PASSES = 12
 
 
 def lower_to_g_gates(circuit: QuditCircuit) -> QuditCircuit:
     """Return an equivalent circuit consisting solely of G-gates."""
-    current = circuit
-    for _ in range(_MAX_PASSES):
-        if current.is_g_circuit():
-            lowered = current.copy()
-            lowered.name = f"{circuit.name} [G]"
-            return lowered
-        next_circuit = QuditCircuit(current.num_wires, current.dim, name=current.name)
-        for op in current:
-            next_circuit.extend(_lower_op(op, current))
-        current = next_circuit
-    if not current.is_g_circuit():
+    # Imported lazily: repro.passes pulls in repro.core synthesis modules,
+    # and a module-level import here would close that cycle during package
+    # initialisation.
+    from repro.passes import default_lowering_pipeline
+
+    lowered = default_lowering_pipeline(max_sweeps=_MAX_PASSES).run(circuit)
+    if not lowered.is_g_circuit():  # pragma: no cover - defensive
         raise SynthesisError("lowering did not converge to G-gates")
-    current.name = f"{circuit.name} [G]"
-    return current
-
-
-def _lower_op(op: BaseOp, circuit: QuditCircuit) -> List[BaseOp]:
-    dim = circuit.dim
-    if op.is_g_gate(dim):
-        return [op]
-
-    if isinstance(op, StarShiftOp):
-        return _lower_star(op, dim)
-
-    if not isinstance(op, Operation):  # pragma: no cover - defensive
-        raise SynthesisError(f"cannot lower unknown operation {op!r}")
-    if not op.gate.is_permutation:
-        raise SynthesisError(
-            "cannot lower a non-permutation payload to G-gates; keep |1⟩-U gates "
-            "as two-qudit gates instead"
-        )
-
-    perm = op.gate.permutation()
-    if perm == perm_utils.identity_permutation(dim):
-        return []
-
-    if op.num_controls == 0:
-        return list(transposition_ops(dim, op.target, perm))
-
-    if op.num_controls == 1:
-        control, predicate = op.controls[0]
-        if isinstance(predicate, Value) and perm_utils.is_transposition(perm):
-            i, j = XPerm(perm).transposition_points()
-            return list(
-                controlled_transposition_g_ops(dim, control, predicate.value, op.target, i, j)
-            )
-        return list(
-            controlled_permutation_g_ops(dim, control, predicate, op.target, perm)
-        )
-
-    if op.num_controls == 2:
-        (c1, p1), (c2, p2) = op.controls
-        borrow = _find_borrow(circuit, op) if dim % 2 == 0 else None
-        ops: List[BaseOp] = []
-        for i, j in perm_utils.transpositions_of(perm):
-            ops.extend(
-                two_controlled_transposition_ops(dim, c1, p1, c2, p2, op.target, i, j, borrow)
-            )
-        return ops
-
-    raise SynthesisError(
-        f"lowering does not expand operations with {op.num_controls} controls; "
-        "use the multi-controlled synthesis routines instead"
-    )
-
-
-def _lower_star(op: StarShiftOp, dim: int) -> List[BaseOp]:
-    """Expand ``|⋆⟩[controls]-X±⋆`` into per-value controlled shifts (Fig. 6)."""
-    if len(op.controls) > 1:
-        raise SynthesisError(
-            "star gates with more than one ordinary control must be synthesised "
-            "with the ladder (multi_controlled_star_ops), not the lowering pass"
-        )
-    ops: List[BaseOp] = []
-    for star_value in range(1, dim):
-        shift = (op.sign * star_value) % dim
-        perm = perm_utils.cycle_plus(dim, shift)
-        controls = list(op.controls) + [(op.star_wire, Value(star_value))]
-        ops.append(Operation(XPerm(perm, label=f"X+{shift}"), op.target, controls))
-    return ops
-
-
-def _find_borrow(circuit: QuditCircuit, op: BaseOp) -> int:
-    """Pick an idle wire of the circuit to borrow for an even-``d`` gadget."""
-    used = set(op.wires())
-    for wire in range(circuit.num_wires):
-        if wire not in used:
-            return wire
-    raise SynthesisError(
-        "no idle wire available to borrow for the even-d two-controlled gadget; "
-        "add one borrowed ancilla wire to the circuit (Lemma III.1 requires it)"
-    )
+    lowered.name = f"{circuit.name} [G]"
+    return lowered

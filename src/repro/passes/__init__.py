@@ -1,0 +1,56 @@
+"""Composable circuit-transform passes.
+
+Lowering used to be one monolithic fixed-point rewriter in
+``repro.core.lowering``; it is now a pipeline of small passes that can be
+recombined freely:
+
+>>> from repro.passes import PassPipeline, ExpandMacros, CancelAdjacentInverses
+>>> pipeline = PassPipeline([ExpandMacros(), CancelAdjacentInverses()])
+>>> lowered = pipeline.run(circuit)                       # doctest: +SKIP
+>>> [(r.pass_name, r.removed) for r in pipeline.history]  # doctest: +SKIP
+
+:func:`default_lowering_pipeline` is the pipeline behind
+:func:`repro.core.lowering.lower_to_g_gates`.
+"""
+
+from repro.passes.base import Pass, PassPipeline, PassRecord
+from repro.passes.expand_macros import ExpandMacros
+from repro.passes.optimize import (
+    CancelAdjacentInverses,
+    DropIdentities,
+    FuseSingleQuditGates,
+)
+
+
+def default_lowering_pipeline(max_sweeps: int = 12) -> PassPipeline:
+    """The pipeline ``lower_to_g_gates`` runs.
+
+    Identity removal and single-qudit fusion happen at the macro level
+    (fusing *before* expansion keeps the result a G-circuit), then the fixed
+    point expansion to G-gates (bounded by ``max_sweeps``), then peephole
+    cleanup.  Every optimization pass only removes or merges operations, so
+    the final G-gate count is never larger than what plain expansion would
+    produce.
+    """
+    return PassPipeline(
+        [
+            DropIdentities(),
+            FuseSingleQuditGates(),
+            ExpandMacros(max_sweeps=max_sweeps),
+            CancelAdjacentInverses(),
+            DropIdentities(),
+        ],
+        name="lower-to-g",
+    )
+
+
+__all__ = [
+    "Pass",
+    "PassPipeline",
+    "PassRecord",
+    "ExpandMacros",
+    "CancelAdjacentInverses",
+    "DropIdentities",
+    "FuseSingleQuditGates",
+    "default_lowering_pipeline",
+]

@@ -1,0 +1,161 @@
+"""Peephole optimization passes.
+
+Three cheap, semantics-preserving rewrites that shrink circuits emitted by
+the synthesis routines and the macro expansion:
+
+* :class:`DropIdentities` — remove operations whose payload acts as the
+  identity (identity permutations, identity matrices, controls that can
+  never fire);
+* :class:`CancelAdjacentInverses` — remove ``U, U†`` pairs that are adjacent
+  up to operations on disjoint wires (which commute past both);
+* :class:`FuseSingleQuditGates` — merge runs of uncontrolled single-qudit
+  gates on the same wire into one gate (permutations compose into one
+  ``XPerm``, matrices into one ``SingleQuditUnitary``).
+
+All three only ever remove or merge operations, so downstream G-gate counts
+can shrink but never grow.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import GateError
+from repro.passes.base import Pass
+from repro.qudit.circuit import QuditCircuit
+from repro.qudit.gates import Gate, SingleQuditUnitary, XPerm
+from repro.qudit.operations import BaseOp, Operation, StarShiftOp
+from repro.utils import permutations as perm_utils
+
+
+def _rebuild(circuit: QuditCircuit, ops: List[BaseOp]) -> QuditCircuit:
+    out = QuditCircuit(circuit.num_wires, circuit.dim, name=circuit.name)
+    out.extend(ops)
+    return out
+
+
+def _gates_are_inverse(first: Gate, second: Gate) -> bool:
+    """True if applying ``first`` then ``second`` is the identity."""
+    if first.dim != second.dim:
+        return False
+    if first.is_permutation and second.is_permutation:
+        composed = perm_utils.compose(second.permutation(), first.permutation())
+        return composed == perm_utils.identity_permutation(first.dim)
+    if not first.is_permutation and not second.is_permutation:
+        product = second.matrix() @ first.matrix()
+        return bool(np.allclose(product, np.eye(first.dim), atol=1e-9))
+    return False
+
+
+def _ops_cancel(first: BaseOp, second: BaseOp) -> bool:
+    """True if ``second`` undoes ``first`` exactly (same wires and controls)."""
+    if isinstance(first, Operation) and isinstance(second, Operation):
+        return (
+            first.target == second.target
+            and first.controls == second.controls
+            and _gates_are_inverse(first.gate, second.gate)
+        )
+    if isinstance(first, StarShiftOp) and isinstance(second, StarShiftOp):
+        return (
+            first.star_wire == second.star_wire
+            and first.target == second.target
+            and first.controls == second.controls
+            and first.sign == -second.sign
+        )
+    return False
+
+
+class DropIdentities(Pass):
+    """Remove operations that act as the identity on every basis state."""
+
+    name = "drop-identities"
+
+    def run(self, circuit: QuditCircuit) -> QuditCircuit:
+        kept = [op for op in circuit if not self._is_identity(op, circuit.dim)]
+        return _rebuild(circuit, kept)
+
+    @staticmethod
+    def _is_identity(op: BaseOp, dim: int) -> bool:
+        if not isinstance(op, Operation):
+            return False
+        try:
+            if any(not predicate.values(dim) for _, predicate in op.controls):
+                return True  # no basis state can ever fire the controls
+        except GateError:
+            return False  # out-of-range predicate: leave for the simulator to reject
+        gate = op.gate
+        if gate.is_permutation:
+            return gate.permutation() == perm_utils.identity_permutation(gate.dim)
+        return bool(np.allclose(gate.matrix(), np.eye(gate.dim), atol=1e-12))
+
+
+class CancelAdjacentInverses(Pass):
+    """Remove ``U, U†`` pairs separated only by wire-disjoint operations."""
+
+    name = "cancel-adjacent-inverses"
+
+    def run(self, circuit: QuditCircuit) -> QuditCircuit:
+        kept: List[BaseOp] = []
+        for op in circuit:
+            if not self._cancelled(kept, op):
+                kept.append(op)
+        return _rebuild(circuit, kept)
+
+    @staticmethod
+    def _cancelled(kept: List[BaseOp], op: BaseOp) -> bool:
+        wires = set(op.wires())
+        for index in range(len(kept) - 1, -1, -1):
+            prior = kept[index]
+            if wires.isdisjoint(prior.wires()):
+                continue  # commutes past op: keep scanning backwards
+            if _ops_cancel(prior, op):
+                del kept[index]
+                return True
+            return False
+        return False
+
+
+class FuseSingleQuditGates(Pass):
+    """Fuse runs of uncontrolled single-qudit gates on one wire into one gate.
+
+    Two permutations compose into a single :class:`XPerm`; anything involving
+    a dense payload composes into a single :class:`SingleQuditUnitary`.
+    Intervening operations that do not touch the wire commute past the run
+    and do not block fusion.
+    """
+
+    name = "fuse-single-qudit-gates"
+
+    def run(self, circuit: QuditCircuit) -> QuditCircuit:
+        kept: List[BaseOp] = []
+        for op in circuit:
+            if not (self._fusable(op) and self._fused(kept, op)):
+                kept.append(op)
+        return _rebuild(circuit, kept)
+
+    @staticmethod
+    def _fusable(op: BaseOp) -> bool:
+        return isinstance(op, Operation) and not op.controls
+
+    @classmethod
+    def _fused(cls, kept: List[BaseOp], op: Operation) -> bool:
+        for index in range(len(kept) - 1, -1, -1):
+            prior = kept[index]
+            if op.target not in prior.wires():
+                continue  # disjoint wires: commutes past op
+            if cls._fusable(prior):
+                kept[index] = Operation(_fuse_gates(prior.gate, op.gate), op.target)
+                return True
+            return False
+        return False
+
+
+def _fuse_gates(first: Gate, second: Gate) -> Gate:
+    """The single gate equal to applying ``first`` then ``second``."""
+    if first.is_permutation and second.is_permutation:
+        merged = perm_utils.compose(second.permutation(), first.permutation())
+        return XPerm(merged, label=f"{first.label}·{second.label}")
+    product = second.matrix() @ first.matrix()
+    return SingleQuditUnitary(product, label=f"{first.label}·{second.label}", check=False)

@@ -48,9 +48,15 @@ class QuditCircuit:
         return self
 
     def extend(self, ops: Iterable[BaseOp]) -> "QuditCircuit":
-        """Append several operations and return ``self``."""
-        for op in ops:
-            self.append(op)
+        """Append several operations and return ``self``.
+
+        The whole batch is validated before any mutation, so a failing
+        operation can never leave the circuit half-extended.
+        """
+        staged = list(ops)
+        for op in staged:
+            self._validate_op(op)
+        self._ops.extend(staged)
         return self
 
     def add_gate(
@@ -63,7 +69,11 @@ class QuditCircuit:
         return self.append(Operation(gate, target, controls))
 
     def compose(self, other: "QuditCircuit") -> "QuditCircuit":
-        """Append every operation of ``other`` (same dimension required)."""
+        """Append every operation of ``other`` (same dimension required).
+
+        Like :meth:`extend`, the batch is validated up front: on failure
+        ``self`` is left exactly as it was.
+        """
         if other.dim != self.dim:
             raise DimensionError("cannot compose circuits of different qudit dimensions")
         if other.num_wires > self.num_wires:

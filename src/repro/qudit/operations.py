@@ -13,19 +13,43 @@ Two operation kinds exist:
   synthesis-internal macro that the lowering pass expands into ordinary
   controlled gates.
 
-Both kinds know how to apply themselves to a classical basis state, which is
-all the permutation simulator needs.
+Both kinds know how to apply themselves to a classical basis state (what the
+scalar permutation simulator needs) and additionally expose two vectorized
+hooks consumed by the simulation backends in :mod:`repro.sim.backend`:
+
+* :meth:`BaseOp.permutation_table` — the operation's action on the whole
+  ``d^n`` basis as a flat numpy gather table, cached per ``(dim, num_wires)``;
+* :meth:`BaseOp.control_mask` — the control predicate evaluated over the whole
+  basis as a boolean array broadcastable against the state reshaped to
+  ``(d,) * n``.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import GateError, WireError
 from repro.qudit.controls import ControlPredicate, Value
 from repro.qudit.gates import Gate, XPerm
 
 Control = Tuple[int, ControlPredicate]
+
+#: Gather tables shared across *structurally equal* operations.  Lowered
+#: circuits repeat the same few dozen G-gate forms thousands of times as
+#: distinct instances; keying on (kind, dim, num_wires, wires, payload,
+#: controls) lets them all share one table.  Bounded FIFO so a long-running
+#: process sweeping many distinct op forms cannot grow without limit (live
+#: ops keep their table alive through the per-instance cache regardless).
+_SHARED_TABLE_CACHE: dict = {}
+_SHARED_TABLE_CACHE_MAX = 4096
+
+
+def _shared_table_cache_put(key, table) -> None:
+    while len(_SHARED_TABLE_CACHE) >= _SHARED_TABLE_CACHE_MAX:
+        _SHARED_TABLE_CACHE.pop(next(iter(_SHARED_TABLE_CACHE)))
+    _SHARED_TABLE_CACHE[key] = table
 
 
 def _normalize_controls(controls: Sequence[Control]) -> Tuple[Control, ...]:
@@ -65,6 +89,75 @@ class BaseOp:
     def is_permutation(self) -> bool:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Vectorized hooks for the simulation backends
+    # ------------------------------------------------------------------
+    def control_mask(self, dim: int, num_wires: int, *, flat: bool = False) -> np.ndarray:
+        """Boolean array marking the basis states on which every control fires.
+
+        The default shape has ``dim`` on every control axis and ``1``
+        elsewhere, so it broadcasts against a statevector reshaped to
+        ``(dim,) * num_wires``; with ``flat=True`` the mask is materialised
+        over the full ``dim ** num_wires`` flat basis.  Results are cached per
+        ``(dim, num_wires, flat)`` and returned read-only.
+        """
+        cache = self.__dict__.setdefault("_control_mask_cache", {})
+        key = (dim, num_wires, flat)
+        mask = cache.get(key)
+        if mask is None:
+            if flat:
+                shaped = self.control_mask(dim, num_wires)
+                mask = np.broadcast_to(shaped, (dim,) * num_wires).reshape(-1)
+            else:
+                mask = np.ones((1,) * num_wires, dtype=bool)
+                for wire, predicate in self.controls:
+                    if not 0 <= wire < num_wires:
+                        raise WireError(
+                            f"control wire {wire} out of range for {num_wires} wires"
+                        )
+                    fires = np.zeros(dim, dtype=bool)
+                    for value in predicate.values(dim):
+                        fires[value] = True
+                    shape = [1] * num_wires
+                    shape[wire] = dim
+                    mask = mask & fires.reshape(shape)
+            mask.setflags(write=False)
+            cache[key] = mask
+        return mask
+
+    def permutation_table(self, dim: int, num_wires: int) -> np.ndarray:
+        """The operation's action on the full basis as a flat gather table.
+
+        Entry ``i`` is the flat index of the image of basis state ``i``, so a
+        statevector evolves as ``new[table] = old`` (a single scatter).  Only
+        defined for permutation operations; the table is built with vectorized
+        numpy arithmetic (no per-index Python loop), cached per
+        ``(dim, num_wires)`` and returned read-only.
+        """
+        if not self.is_permutation:
+            raise GateError(f"{self!r} is not a permutation operation")
+        cache = self.__dict__.setdefault("_permutation_table_cache", {})
+        key = (dim, num_wires)
+        table = cache.get(key)
+        if table is None:
+            shared_key = self._table_key(dim, num_wires)
+            table = _SHARED_TABLE_CACHE.get(shared_key)
+            if table is None:
+                for wire in self.wires():
+                    if not 0 <= wire < num_wires:
+                        raise WireError(f"wire {wire} out of range for {num_wires} wires")
+                table = self._build_permutation_table(dim, num_wires)
+                table.setflags(write=False)
+                _shared_table_cache_put(shared_key, table)
+            cache[key] = table
+        return table
+
+    def _table_key(self, dim: int, num_wires: int) -> tuple:
+        raise NotImplementedError
+
+    def _build_permutation_table(self, dim: int, num_wires: int) -> np.ndarray:
+        raise NotImplementedError
+
     def _check_distinct_wires(self) -> None:
         wires = self.wires()
         if len(set(wires)) != len(wires):
@@ -99,6 +192,18 @@ class Operation(BaseOp):
             raise GateError("cannot apply a non-permutation gate to a classical basis state")
         if self.controls_fire(state, dim):
             state[self.target] = self.gate.permutation()[state[self.target]]
+
+    def _table_key(self, dim: int, num_wires: int) -> tuple:
+        return ("op", dim, num_wires, self.target, self.gate.permutation(), self.controls)
+
+    def _build_permutation_table(self, dim: int, num_wires: int) -> np.ndarray:
+        indices = np.arange(dim**num_wires)
+        stride = dim ** (num_wires - 1 - self.target)
+        digits = (indices // stride) % dim
+        perm = np.asarray(self.gate.permutation(), dtype=np.int64)
+        delta = (perm[digits] - digits) * stride
+        mask = self.control_mask(dim, num_wires, flat=True)
+        return indices + np.where(mask, delta, 0)
 
     def is_g_gate(self, dim: int) -> bool:
         """Return True if the operation belongs to the paper's gate set G.
@@ -163,6 +268,20 @@ class StarShiftOp(BaseOp):
     def apply_to_basis(self, state: List[int], dim: int) -> None:
         if self.controls_fire(state, dim):
             state[self.target] = (state[self.target] + self.sign * state[self.star_wire]) % dim
+
+    def _table_key(self, dim: int, num_wires: int) -> tuple:
+        return ("star", dim, num_wires, self.star_wire, self.target, self.sign, self.controls)
+
+    def _build_permutation_table(self, dim: int, num_wires: int) -> np.ndarray:
+        indices = np.arange(dim**num_wires)
+        stride_target = dim ** (num_wires - 1 - self.target)
+        stride_star = dim ** (num_wires - 1 - self.star_wire)
+        target = (indices // stride_target) % dim
+        star = (indices // stride_star) % dim
+        shifted = (target + self.sign * star) % dim
+        delta = (shifted - target) * stride_target
+        mask = self.control_mask(dim, num_wires, flat=True)
+        return indices + np.where(mask, delta, 0)
 
     def is_g_gate(self, dim: int) -> bool:
         return False

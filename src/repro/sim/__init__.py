@@ -1,8 +1,24 @@
-"""Simulators and verification helpers for qudit circuits."""
+"""Simulators and verification helpers for qudit circuits.
 
+The simulation engines live in :mod:`repro.sim.backend` and are selected by
+name (``"dense"``, ``"tensor"``) wherever a ``backend=`` parameter appears —
+:class:`Statevector`, :func:`circuit_unitary` and the ``assert_*`` helpers.
+"""
+
+from repro.sim.backend import (
+    DenseBackend,
+    SimulationBackend,
+    TensorBackend,
+    available_backends,
+    default_backend,
+    get_backend,
+    register_backend,
+    set_default_backend,
+)
 from repro.sim.permutation import (
     apply_to_basis,
     function_table,
+    permutation_index_table,
     permutation_parity,
     permutation_table,
     states_differing_on,
@@ -25,8 +41,17 @@ from repro.sim.verify import (
 )
 
 __all__ = [
+    "DenseBackend",
+    "SimulationBackend",
+    "TensorBackend",
+    "available_backends",
+    "default_backend",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
     "apply_to_basis",
     "function_table",
+    "permutation_index_table",
     "permutation_parity",
     "permutation_table",
     "states_differing_on",

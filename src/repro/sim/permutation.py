@@ -6,15 +6,23 @@ states to computational basis states without introducing phases.  Such
 circuits are verified exhaustively by running every basis state through the
 circuit, which is dramatically cheaper than dense unitary simulation
 (``O(d^n * size)`` instead of ``O(d^{2n} * size)``) and is exact.
+
+The whole-basis queries are vectorized: :func:`permutation_index_table`
+composes the per-operation gather tables exposed by
+:meth:`repro.qudit.operations.BaseOp.permutation_table` (cached per
+``(op, n, d)``), so a circuit of ``m`` gates costs ``m`` numpy gathers
+instead of ``m * d^n`` Python-level gate applications.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import GateError
 from repro.qudit.circuit import QuditCircuit
-from repro.utils.indexing import digits_to_index, index_to_digits, iterate_basis
+from repro.utils.indexing import digit_matrix, indices_to_digits, iterate_basis
 
 BasisState = Tuple[int, ...]
 
@@ -36,24 +44,36 @@ def apply_to_basis(circuit: QuditCircuit, state: Sequence[int]) -> BasisState:
     return tuple(working)
 
 
+def permutation_index_table(circuit: QuditCircuit) -> np.ndarray:
+    """The circuit's action on the full flat basis as one numpy index array.
+
+    Entry ``i`` is the flat index of the image of basis state ``i``.  Built by
+    composing the cached per-operation gather tables — fully vectorized.
+    Only feasible for small systems (``dim ** num_wires`` entries).
+    """
+    if not circuit.is_permutation:
+        raise GateError("circuit contains non-permutation gates; use the statevector simulator")
+    table = np.arange(circuit.dim**circuit.num_wires)
+    for op in circuit:
+        table = op.permutation_table(circuit.dim, circuit.num_wires)[table]
+    return table
+
+
 def permutation_table(circuit: QuditCircuit) -> List[int]:
     """Return the full permutation of flat basis indices implemented by ``circuit``.
 
-    Only feasible for small systems (``dim ** num_wires`` entries).
+    Plain-list version of :func:`permutation_index_table`, kept for callers
+    that expect Python integers.
     """
-    table: List[int] = []
-    for state in iterate_basis(circuit.dim, circuit.num_wires):
-        output = apply_to_basis(circuit, state)
-        table.append(digits_to_index(output, circuit.dim))
-    return table
+    return permutation_index_table(circuit).tolist()
 
 
 def function_table(circuit: QuditCircuit) -> Dict[BasisState, BasisState]:
     """Return the circuit's action as a mapping of digit tuples."""
-    return {
-        state: apply_to_basis(circuit, state)
-        for state in iterate_basis(circuit.dim, circuit.num_wires)
-    }
+    table = permutation_index_table(circuit)
+    sources = digit_matrix(circuit.dim, circuit.num_wires).tolist()
+    images = indices_to_digits(table, circuit.dim, circuit.num_wires).tolist()
+    return {tuple(source): tuple(image) for source, image in zip(sources, images)}
 
 
 def permutation_parity(circuit: QuditCircuit) -> int:
@@ -64,7 +84,7 @@ def permutation_parity(circuit: QuditCircuit) -> int:
     (an odd permutation) cannot be built from G-gates (even permutations)
     without an extra wire.
     """
-    table = permutation_table(circuit)
+    table = permutation_index_table(circuit).tolist()
     visited = [False] * len(table)
     transposition_count = 0
     for start in range(len(table)):
@@ -87,13 +107,15 @@ def states_differing_on(
 
     Handy when debugging control-preservation or borrowed-ancilla violations.
     """
-    wires = tuple(wires)
-    offenders = []
-    for state in iterate_basis(circuit.dim, circuit.num_wires):
-        output = apply_to_basis(circuit, state)
-        if any(state[w] != output[w] for w in wires):
-            offenders.append((state, output))
-    return offenders
+    wires = list(wires)
+    table = permutation_index_table(circuit)
+    sources = digit_matrix(circuit.dim, circuit.num_wires)
+    images = indices_to_digits(table, circuit.dim, circuit.num_wires)
+    changed = (sources[:, wires] != images[:, wires]).any(axis=1)
+    return [
+        (tuple(sources[i].tolist()), tuple(images[i].tolist()))
+        for i in np.nonzero(changed)[0]
+    ]
 
 
 def evaluate_spec(
@@ -111,7 +133,6 @@ def evaluate_spec(
 
 def index_permutation_to_digit_map(table: Sequence[int], dim: int, num_wires: int) -> Dict[BasisState, BasisState]:
     """Convert a flat-index permutation table into a digit-tuple mapping."""
-    return {
-        index_to_digits(i, dim, num_wires): index_to_digits(image, dim, num_wires)
-        for i, image in enumerate(table)
-    }
+    sources = indices_to_digits(np.arange(len(table)), dim, num_wires).tolist()
+    images = indices_to_digits(np.asarray(table), dim, num_wires).tolist()
+    return {tuple(source): tuple(image) for source, image in zip(sources, images)}

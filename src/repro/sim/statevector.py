@@ -3,9 +3,10 @@
 Used for the constructions that involve genuine unitaries rather than
 basis-state permutations: the ``|0^k⟩-U`` gate of Fig. 1(b), the unitary
 synthesis of Theorem IV.1, the d-ary Grover application, and the
-root-of-``X`` baselines.  The simulator is a straightforward dense
-implementation intended for small systems (``d^n`` up to a few thousand
-amplitudes), which is all the verification and benchmarks need.
+root-of-``X`` baselines.  Gate application is delegated to one of the
+vectorized engines in :mod:`repro.sim.backend` (``dense`` by default,
+``tensor`` as the axis-wise alternative) — there is no per-basis-index
+Python loop anywhere on the hot path.
 """
 
 from __future__ import annotations
@@ -14,20 +15,36 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.exceptions import DimensionError, GateError, WireError
+from repro.exceptions import DimensionError, WireError
 from repro.qudit.circuit import QuditCircuit
-from repro.qudit.operations import BaseOp, Operation, StarShiftOp
+from repro.qudit.operations import BaseOp
+from repro.sim.backend import BackendLike, get_backend
 from repro.utils.indexing import digits_to_index, index_to_digits
 
 
 class Statevector:
-    """A dense statevector over ``num_wires`` qudits of dimension ``dim``."""
+    """A dense statevector over ``num_wires`` qudits of dimension ``dim``.
 
-    def __init__(self, num_wires: int, dim: int, data: Optional[np.ndarray] = None):
+    ``backend`` selects the simulation engine by name (``"dense"``,
+    ``"tensor"``, or any name registered through
+    :func:`repro.sim.backend.register_backend`); ``None`` uses the process
+    default.
+    """
+
+    def __init__(
+        self,
+        num_wires: int,
+        dim: int,
+        data: Optional[np.ndarray] = None,
+        *,
+        backend: BackendLike = None,
+        copy: bool = True,
+    ):
         if dim < 2:
             raise DimensionError(f"qudit dimension must be at least 2, got {dim}")
         self.num_wires = num_wires
         self.dim = dim
+        self.backend = get_backend(backend)
         size = dim**num_wires
         if data is None:
             self.data = np.zeros(size, dtype=complex)
@@ -36,80 +53,72 @@ class Statevector:
             data = np.asarray(data, dtype=complex)
             if data.shape != (size,):
                 raise DimensionError(f"statevector must have {size} amplitudes, got {data.shape}")
-            self.data = data.copy()
+            self.data = data.copy() if copy else data
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_basis_state(cls, digits: Sequence[int], dim: int) -> "Statevector":
+    def from_basis_state(
+        cls, digits: Sequence[int], dim: int, *, backend: BackendLike = None
+    ) -> "Statevector":
         """The computational basis state ``|digits⟩``."""
-        state = cls(len(digits), dim)
+        state = cls(len(digits), dim, backend=backend)
         state.data[:] = 0.0
         state.data[digits_to_index(digits, dim)] = 1.0
         return state
 
     @classmethod
-    def uniform(cls, num_wires: int, dim: int) -> "Statevector":
+    def uniform(cls, num_wires: int, dim: int, *, backend: BackendLike = None) -> "Statevector":
         """The uniform superposition over every basis state."""
-        state = cls(num_wires, dim)
+        state = cls(num_wires, dim, backend=backend)
         size = dim**num_wires
         state.data[:] = 1.0 / np.sqrt(size)
         return state
 
     def copy(self) -> "Statevector":
-        return Statevector(self.num_wires, self.dim, self.data)
+        """An independent copy (exactly one buffer copy)."""
+        return Statevector(
+            self.num_wires, self.dim, self.data.copy(), backend=self.backend, copy=False
+        )
 
     # ------------------------------------------------------------------
     # Evolution
     # ------------------------------------------------------------------
-    def apply_circuit(self, circuit: QuditCircuit) -> "Statevector":
-        """Apply every operation of ``circuit`` in place and return ``self``."""
+    def apply_circuit(
+        self,
+        circuit: QuditCircuit,
+        *,
+        out: Optional["Statevector"] = None,
+        backend: BackendLike = None,
+    ) -> "Statevector":
+        """Apply every operation of ``circuit`` and return the evolved state.
+
+        By default the state evolves in place and ``self`` is returned.  Pass
+        ``out=`` (a statevector of the same shape) to leave ``self`` untouched
+        and write the result into ``out`` instead; ``backend=`` overrides the
+        engine for this call only.
+        """
         if circuit.num_wires != self.num_wires or circuit.dim != self.dim:
             raise WireError("circuit and statevector shapes do not match")
+        engine = self.backend if backend is None else get_backend(backend)
+        target = self if out is None else out
+        if target is not self:
+            if not isinstance(target, Statevector):
+                raise WireError(f"out= must be a Statevector, got {target!r}")
+            if target.num_wires != self.num_wires or target.dim != self.dim:
+                raise WireError("out= statevector shape does not match")
+        data = self.data
         for op in circuit:
-            self.apply_op(op)
-        return self
+            data = engine.apply_op(data, op, self.dim, self.num_wires)
+        if target is not self and data is self.data:
+            data = data.copy()  # empty circuit: never alias the buffers
+        target.data = data
+        return target
 
     def apply_op(self, op: BaseOp) -> None:
         """Apply one operation in place."""
-        if op.is_permutation:
-            self._apply_permutation_op(op)
-        elif isinstance(op, Operation):
-            self._apply_unitary_op(op)
-        else:  # pragma: no cover - defensive
-            raise GateError(f"cannot simulate operation {op!r}")
-
-    def _apply_permutation_op(self, op: BaseOp) -> None:
-        size = self.dim**self.num_wires
-        new_index = np.arange(size)
-        for index in range(size):
-            digits = list(index_to_digits(index, self.dim, self.num_wires))
-            op.apply_to_basis(digits, self.dim)
-            new_index[index] = digits_to_index(digits, self.dim)
-        new_data = np.zeros_like(self.data)
-        new_data[new_index] = self.data
-        self.data = new_data
-
-    def _apply_unitary_op(self, op: Operation) -> None:
-        matrix = op.gate.matrix()
-        d = self.dim
-        size = d**self.num_wires
-        new_data = self.data.copy()
-        # Group basis indices by the value of every wire except the target;
-        # within a group the target digit enumerates a d-dimensional block.
-        target = op.target
-        stride = d ** (self.num_wires - 1 - target)
-        for index in range(size):
-            digits = index_to_digits(index, self.dim, self.num_wires)
-            if digits[target] != 0:
-                continue
-            if not op.controls_fire(digits, self.dim):
-                continue
-            block_indices = [index + value * stride for value in range(d)]
-            block = self.data[block_indices]
-            new_data[block_indices] = matrix @ block
-        self.data = new_data
+        self.data = self.backend.apply_op(self.data, op, self.dim, self.num_wires)
 
     # ------------------------------------------------------------------
     # Measurement-style queries

@@ -1,10 +1,13 @@
 """Full-unitary construction for small circuits.
 
-Builds the ``d^n x d^n`` matrix implemented by a circuit by pushing every
-computational basis state through the statevector simulator.  Used by the
-verification helpers for the unitary-level constructions (controlled-U,
-Theorem IV.1 unitary synthesis, root-of-X baselines) and by the tests that
-compare against numpy ground truth.
+Builds the ``d^n x d^n`` matrix implemented by a circuit.  For permutation
+circuits the matrix is assembled in one shot from the vectorized basis
+permutation table; for genuine unitary circuits all ``d^n`` identity columns
+are evolved *simultaneously* through a simulation backend (the engines treat
+trailing axes as batch dimensions).  Used by the verification helpers for the
+unitary-level constructions (controlled-U, Theorem IV.1 unitary synthesis,
+root-of-X baselines) and by the tests that compare against numpy ground
+truth.
 """
 
 from __future__ import annotations
@@ -12,33 +15,24 @@ from __future__ import annotations
 import numpy as np
 
 from repro.qudit.circuit import QuditCircuit
-from repro.sim.permutation import permutation_table
-from repro.sim.statevector import Statevector
-from repro.utils.indexing import index_to_digits
+from repro.sim.backend import BackendLike, get_backend
+from repro.sim.permutation import permutation_index_table
 
 
-def circuit_unitary(circuit: QuditCircuit) -> np.ndarray:
+def circuit_unitary(circuit: QuditCircuit, *, backend: BackendLike = None) -> np.ndarray:
     """Return the dense unitary matrix implemented by ``circuit``.
 
-    For pure permutation circuits the matrix is assembled directly from the
-    basis-state permutation table (exact and fast); otherwise each basis
-    state is evolved through the statevector simulator.
+    ``backend`` selects the simulation engine used for non-permutation
+    circuits (``None`` uses the process default).
     """
     size = circuit.dim**circuit.num_wires
     if circuit.is_permutation:
-        table = permutation_table(circuit)
+        table = permutation_index_table(circuit)
         matrix = np.zeros((size, size), dtype=complex)
-        for source, target in enumerate(table):
-            matrix[target, source] = 1.0
+        matrix[table, np.arange(size)] = 1.0
         return matrix
-
-    matrix = np.zeros((size, size), dtype=complex)
-    for source in range(size):
-        digits = index_to_digits(source, circuit.dim, circuit.num_wires)
-        state = Statevector.from_basis_state(digits, circuit.dim)
-        state.apply_circuit(circuit)
-        matrix[:, source] = state.data
-    return matrix
+    engine = get_backend(backend)
+    return engine.apply_circuit(np.eye(size, dtype=complex), circuit)
 
 
 def controlled_unitary_matrix(dim: int, control_value: int, unitary: np.ndarray) -> np.ndarray:

@@ -25,9 +25,14 @@ import numpy as np
 
 from repro.exceptions import VerificationError
 from repro.qudit.circuit import QuditCircuit
-from repro.sim.permutation import apply_to_basis
+from repro.sim.backend import BackendLike
+from repro.sim.permutation import (
+    apply_to_basis,
+    permutation_index_table,
+    states_differing_on,
+)
 from repro.sim.unitary import circuit_unitary
-from repro.utils.indexing import iterate_basis
+from repro.utils.indexing import digit_matrix, indices_to_digits
 
 BasisState = Tuple[int, ...]
 Spec = Callable[[BasisState], Sequence[int]]
@@ -57,16 +62,31 @@ def assert_implements_permutation(
     clean = tuple(clean_wires)
     total = circuit.dim**circuit.num_wires
     if total <= max_states:
-        states: Iterable[BasisState] = iterate_basis(circuit.dim, circuit.num_wires)
-    else:
-        rng = random.Random(seed)
-        states = (
-            tuple(
-                0 if wire in clean else rng.randrange(circuit.dim)
-                for wire in range(circuit.num_wires)
-            )
-            for _ in range(samples)
+        # Exhaustive check: compute the circuit's whole-basis action once with
+        # the vectorized gather tables, then compare state by state against
+        # the (Python-level) specification callback.
+        table = permutation_index_table(circuit)
+        sources = digit_matrix(circuit.dim, circuit.num_wires).tolist()
+        images = indices_to_digits(table, circuit.dim, circuit.num_wires).tolist()
+        for source, image in zip(sources, images):
+            state = tuple(source)
+            if any(state[w] != 0 for w in clean):
+                continue
+            expected = tuple(spec(state))
+            actual = tuple(image)
+            if actual != expected:
+                raise VerificationError(
+                    f"circuit {circuit.name!r} maps {state} to {actual}, expected {expected}"
+                )
+        return
+    rng = random.Random(seed)
+    states: Iterable[BasisState] = (
+        tuple(
+            0 if wire in clean else rng.randrange(circuit.dim)
+            for wire in range(circuit.num_wires)
         )
+        for _ in range(samples)
+    )
     for state in states:
         if any(state[w] != 0 for w in clean):
             continue
@@ -103,8 +123,15 @@ def assert_wires_preserved(
 
     total = circuit.dim**circuit.num_wires
     if total <= max_states:
-        for state in iterate_basis(circuit.dim, circuit.num_wires):
-            spec_preserving(state)
+        # Fully vectorized: states_differing_on compares the watched wires of
+        # every basis state with its image under the composed gather table.
+        offenders = states_differing_on(circuit, wires)
+        if offenders:
+            state, output = offenders[0]
+            mismatch = [w for w in wires if output[w] != state[w]]
+            raise VerificationError(
+                f"circuit {circuit.name!r} modified wires {mismatch} on input {state}: {output}"
+            )
     else:
         rng = random.Random(seed)
         for _ in range(samples):
@@ -193,9 +220,14 @@ def assert_unitary_equiv(
     *,
     atol: float = 1e-8,
     up_to_global_phase: bool = False,
+    backend: BackendLike = None,
 ) -> None:
-    """Check that the circuit's unitary equals ``expected`` (dense compare)."""
-    actual = circuit_unitary(circuit)
+    """Check that the circuit's unitary equals ``expected`` (dense compare).
+
+    ``backend`` selects the simulation engine used to build the circuit's
+    unitary (``None`` uses the process default).
+    """
+    actual = circuit_unitary(circuit, backend=backend)
     if actual.shape != expected.shape:
         raise VerificationError(
             f"unitary shape mismatch: circuit {actual.shape}, expected {expected.shape}"
@@ -221,6 +253,7 @@ def assert_unitary_equiv_with_clean_ancillas(
     clean_wires: Sequence[int],
     *,
     atol: float = 1e-8,
+    backend: BackendLike = None,
 ) -> None:
     """Check a circuit that uses clean ancillas against a data-wire unitary.
 
@@ -231,7 +264,7 @@ def assert_unitary_equiv_with_clean_ancillas(
     """
     data_wires = tuple(data_wires)
     clean_wires = tuple(clean_wires)
-    full = circuit_unitary(circuit)
+    full = circuit_unitary(circuit, backend=backend)
     dim = circuit.dim
     size_data = dim ** len(data_wires)
     if expected.shape != (size_data, size_data):

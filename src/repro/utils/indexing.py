@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import DimensionError, WireError
 
 
@@ -43,3 +45,22 @@ def iterate_basis(dim: int, num_wires: int) -> Iterator[Tuple[int, ...]]:
     """Iterate over every computational-basis digit tuple in index order."""
     for index in range(dim**num_wires):
         yield index_to_digits(index, dim, num_wires)
+
+
+def indices_to_digits(indices, dim: int, num_wires: int) -> np.ndarray:
+    """Vectorized :func:`index_to_digits`: digits of many flat indices at once.
+
+    Returns an integer array of shape ``indices.shape + (num_wires,)`` whose
+    last axis holds the digit tuple (wire 0 most significant).
+    """
+    if dim < 2:
+        raise DimensionError(f"dimension must be at least 2, got {dim}")
+    indices = np.asarray(indices, dtype=np.int64)
+    strides = dim ** np.arange(num_wires - 1, -1, -1, dtype=np.int64)
+    return (indices[..., None] // strides) % dim
+
+
+def digit_matrix(dim: int, num_wires: int) -> np.ndarray:
+    """The ``(dim**num_wires, num_wires)`` array of every basis digit tuple,
+    in flat-index order."""
+    return indices_to_digits(np.arange(dim**num_wires), dim, num_wires)

@@ -1,0 +1,269 @@
+"""Tests for the vectorized simulation backends and the op-layer hooks."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GateError, WireError
+from repro.qudit.circuit import QuditCircuit
+from repro.qudit.controls import EvenNonZero, Odd, Value
+from repro.qudit.gates import SingleQuditUnitary, XPerm, XPlus
+from repro.qudit.operations import Operation, StarShiftOp
+from repro.sim import (
+    DenseBackend,
+    Statevector,
+    TensorBackend,
+    available_backends,
+    circuit_unitary,
+    default_backend,
+    get_backend,
+    permutation_index_table,
+    register_backend,
+    set_default_backend,
+)
+from repro.sim.backend import SimulationBackend
+from repro.sim.permutation import apply_to_basis
+from repro.utils import permutations as perm_utils
+from repro.utils.indexing import digits_to_index, iterate_basis
+
+BACKENDS = ["dense", "tensor"]
+
+
+def reference_table(circuit):
+    """Brute-force whole-basis action via the scalar simulator."""
+    table = []
+    for state in iterate_basis(circuit.dim, circuit.num_wires):
+        table.append(digits_to_index(apply_to_basis(circuit, state), circuit.dim))
+    return table
+
+
+def random_mixed_circuit(rng, num_wires=3, dim=3, num_ops=10):
+    circuit = QuditCircuit(num_wires, dim, name="mixed")
+    for _ in range(num_ops):
+        wires = rng.sample(range(num_wires), 2)
+        kind = rng.randrange(4)
+        if kind == 0:
+            circuit.add_gate(XPlus(dim, rng.randrange(1, dim)), wires[0])
+        elif kind == 1:
+            predicate = rng.choice([Value(rng.randrange(dim)), Odd(), EvenNonZero()])
+            circuit.add_gate(XPerm(perm_utils.random_permutation(dim, rng)), wires[1], [(wires[0], predicate)])
+        elif kind == 2:
+            circuit.append(StarShiftOp(wires[0], wires[1], rng.choice([+1, -1])))
+        else:
+            phases = np.exp(2j * np.pi * np.array([rng.random() for _ in range(dim)]))
+            controls = [(wires[0], Value(rng.randrange(dim)))] if rng.randrange(2) else []
+            circuit.add_gate(SingleQuditUnitary(np.diag(phases), label="D"), wires[1], controls)
+    return circuit
+
+
+class TestOpHooks:
+    @pytest.mark.parametrize("dim", [2, 3, 4])
+    def test_operation_table_matches_scalar_apply(self, dim):
+        circuit = QuditCircuit(3, dim)
+        circuit.add_gate(XPerm.transposition(dim, 0, 1), 2, [(0, Value(0)), (1, Odd())])
+        op = circuit[0]
+        table = op.permutation_table(dim, 3)
+        assert table.tolist() == reference_table(circuit)
+
+    @pytest.mark.parametrize("sign", [+1, -1])
+    def test_star_table_matches_scalar_apply(self, sign):
+        circuit = QuditCircuit(3, 3)
+        circuit.append(StarShiftOp(0, 2, sign, [(1, Value(1))]))
+        table = circuit[0].permutation_table(3, 3)
+        assert table.tolist() == reference_table(circuit)
+
+    def test_table_cached_and_readonly(self):
+        op = Operation(XPlus(3, 1), 0)
+        table = op.permutation_table(3, 2)
+        assert op.permutation_table(3, 2) is table
+        with pytest.raises(ValueError):
+            table[0] = 5
+
+    def test_structurally_equal_ops_share_tables(self):
+        first = Operation(XPerm.transposition(3, 0, 1), 1, [(0, Value(0))])
+        second = Operation(XPerm.transposition(3, 0, 1), 1, [(0, Value(0))])
+        assert first.permutation_table(3, 2) is second.permutation_table(3, 2)
+
+    def test_non_permutation_table_rejected(self):
+        op = Operation(SingleQuditUnitary(np.diag([1, 1j, -1])), 0)
+        with pytest.raises(GateError):
+            op.permutation_table(3, 1)
+
+    def test_out_of_range_wire_rejected(self):
+        op = Operation(XPlus(3, 1), 5)
+        with pytest.raises(WireError):
+            op.permutation_table(3, 2)
+
+    def test_control_mask_matches_controls_fire(self):
+        op = Operation(XPerm.transposition(4, 0, 1), 2, [(0, EvenNonZero()), (1, Value(3))])
+        mask = op.control_mask(4, 3, flat=True)
+        for index, state in enumerate(iterate_basis(4, 3)):
+            assert bool(mask[index]) == op.controls_fire(state, 4)
+
+    def test_control_mask_broadcast_shape(self):
+        op = Operation(XPerm.transposition(3, 0, 1), 1, [(0, Value(2))])
+        mask = op.control_mask(3, 3)
+        assert mask.shape == (3, 1, 1)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_backends_agree_on_mixed_circuits(self, seed):
+        rng = random.Random(seed)
+        circuit = random_mixed_circuit(rng)
+        results = {}
+        for backend in BACKENDS:
+            state = Statevector.uniform(circuit.num_wires, circuit.dim, backend=backend)
+            state.apply_circuit(circuit)
+            results[backend] = state.data
+        assert np.allclose(results["dense"], results["tensor"], atol=1e-10)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_backends_match_permutation_table(self, seed):
+        rng = random.Random(50 + seed)
+        circuit = random_mixed_circuit(rng, num_ops=6)
+        # Keep only the permutation ops so the scalar reference applies.
+        perm_circuit = QuditCircuit(circuit.num_wires, circuit.dim)
+        perm_circuit.extend([op for op in circuit if op.is_permutation])
+        table = permutation_index_table(perm_circuit)
+        assert table.tolist() == reference_table(perm_circuit)
+        for backend in BACKENDS:
+            for index, image in enumerate(table.tolist()[:10]):
+                state = Statevector(perm_circuit.num_wires, perm_circuit.dim, backend=backend)
+                state.data[:] = 0
+                state.data[index] = 1.0
+                state.apply_circuit(perm_circuit)
+                assert state.probability(
+                    tuple(
+                        (image // perm_circuit.dim ** (perm_circuit.num_wires - 1 - w))
+                        % perm_circuit.dim
+                        for w in range(perm_circuit.num_wires)
+                    )
+                ) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_circuit_unitary_identical_across_backends(self, seed):
+        rng = random.Random(80 + seed)
+        circuit = random_mixed_circuit(rng, num_wires=2, num_ops=6)
+        dense = circuit_unitary(circuit, backend="dense")
+        tensor = circuit_unitary(circuit, backend="tensor")
+        assert np.allclose(dense, tensor, atol=1e-10)
+        # Unitarity sanity check.
+        assert np.allclose(dense @ dense.conj().T, np.eye(dense.shape[0]), atol=1e-9)
+
+
+class TestRegistry:
+    def test_available_backends(self):
+        names = available_backends()
+        assert "dense" in names and "tensor" in names
+
+    def test_get_backend_by_name_and_instance(self):
+        dense = get_backend("dense")
+        assert isinstance(dense, DenseBackend)
+        assert get_backend(dense) is dense
+        assert isinstance(get_backend("tensor"), TensorBackend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(GateError):
+            get_backend("sparse-permutation")
+
+    def test_set_default_backend_roundtrip(self):
+        original = default_backend()
+        try:
+            set_default_backend("tensor")
+            assert isinstance(default_backend(), TensorBackend)
+            state = Statevector(1, 3)
+            assert state.backend is default_backend()
+        finally:
+            set_default_backend(original)
+
+    def test_register_custom_backend(self):
+        class Echo(DenseBackend):
+            name = "echo-test"
+
+        try:
+            register_backend(Echo)
+            assert get_backend("echo-test").name == "echo-test"
+        finally:
+            from repro.sim import backend as backend_module
+
+            backend_module._REGISTRY.pop("echo-test", None)
+
+    def test_register_rejects_non_backend(self):
+        with pytest.raises(GateError):
+            register_backend(object())
+
+
+class TestStatevectorSatellites:
+    def test_copy_is_independent(self):
+        state = Statevector.uniform(2, 3)
+        dup = state.copy()
+        dup.data[0] = 0.0
+        assert state.data[0] == pytest.approx(1.0 / 3.0)
+        assert dup.backend is state.backend
+
+    def test_apply_circuit_out_leaves_self_untouched(self):
+        circuit = QuditCircuit(2, 3)
+        circuit.add_gate(XPerm.transposition(3, 0, 1), 1, [(0, Value(0))])
+        source = Statevector.from_basis_state((0, 0), 3)
+        out = Statevector(2, 3)
+        returned = source.apply_circuit(circuit, out=out)
+        assert returned is out
+        assert source.probability((0, 0)) == pytest.approx(1.0)
+        assert out.probability((0, 1)) == pytest.approx(1.0)
+
+    def test_apply_circuit_out_empty_circuit_does_not_alias(self):
+        circuit = QuditCircuit(2, 3)
+        source = Statevector.from_basis_state((1, 1), 3)
+        out = Statevector(2, 3)
+        source.apply_circuit(circuit, out=out)
+        assert out.data is not source.data
+        out.data[0] = 123.0
+        assert source.amplitude((0, 0)) != 123.0
+
+    def test_apply_circuit_out_shape_mismatch_rejected(self):
+        circuit = QuditCircuit(2, 3)
+        source = Statevector(2, 3)
+        with pytest.raises(WireError):
+            source.apply_circuit(circuit, out=Statevector(3, 3))
+
+    def test_apply_circuit_backend_override(self):
+        circuit = QuditCircuit(2, 3)
+        circuit.add_gate(SingleQuditUnitary(np.diag([1, -1, 1])), 1, [(0, Value(0))])
+        state = Statevector.uniform(2, 3, backend="dense")
+        state.apply_circuit(circuit, backend="tensor")
+        expected = Statevector.uniform(2, 3).apply_circuit(circuit)
+        assert np.allclose(state.data, expected.data)
+
+
+class TestCircuitAtomicity:
+    def test_failed_extend_leaves_circuit_unchanged(self):
+        circuit = QuditCircuit(2, 3)
+        circuit.add_gate(XPlus(3, 1), 0)
+        good = Operation(XPlus(3, 1), 1)
+        bad = Operation(XPlus(3, 1), 7)  # wire out of range
+        with pytest.raises(WireError):
+            circuit.extend([good, bad])
+        assert circuit.num_ops() == 1
+
+    def test_failed_extend_wrong_dimension(self):
+        circuit = QuditCircuit(2, 3)
+        with pytest.raises(Exception):
+            circuit.extend([Operation(XPlus(3, 1), 0), Operation(XPlus(4, 1), 1)])
+        assert circuit.num_ops() == 0
+
+    def test_extend_accepts_generators(self):
+        circuit = QuditCircuit(2, 3)
+        circuit.extend(Operation(XPlus(3, 1), wire) for wire in range(2))
+        assert circuit.num_ops() == 2
+
+    def test_failed_compose_leaves_circuit_unchanged(self):
+        big = QuditCircuit(3, 3)
+        big.add_gate(XPlus(3, 1), 2)
+        small = QuditCircuit(2, 3)
+        small.add_gate(XPlus(3, 1), 0)
+        ok = small.copy()
+        with pytest.raises(Exception):
+            ok.compose(QuditCircuit(2, 4))  # dimension mismatch
+        assert ok.num_ops() == 1
