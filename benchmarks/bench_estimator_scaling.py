@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Estimator scaling sweep: exact resource counts up to k = 10^6, no circuits.
+
+Every registered strategy with an exact analytic estimator is swept over
+k ∈ {10, 10^2, ..., 10^6}; the counts come from the calibrated affine
+recurrences in ``repro.resources.estimator`` (calibration materialises a
+handful of small circuits once; every later query is O(1) integer math).
+
+The run also:
+
+* cross-validates the estimator gate-for-gate against materialised+lowered
+  circuits at points strictly beyond the calibration window;
+* enforces the acceptance criterion that a warm k = 10^6 qutrit MCT
+  estimate completes in under 50 ms (the JSON records the measured time);
+* writes both a plain-text table and a JSON payload under
+  ``benchmarks/results/``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_estimator_scaling.py          # full
+    PYTHONPATH=src python benchmarks/bench_estimator_scaling.py --quick  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from _harness import RESULTS_DIR, emit_table
+
+from repro.bench import render_table
+from repro.bench.formatting import ancilla_kind_label, json_safe
+from repro.core.gate_counts import count_gates
+from repro.synth import registry
+
+#: Acceptance criterion: warm k = 10^6 qutrit MCT estimate under 50 ms.
+ACCEPTANCE_SECONDS = 0.05
+
+KS = [10, 100, 1_000, 10_000, 100_000, 1_000_000]
+
+#: (strategy, d) pairs swept in the full run; --quick keeps the first three.
+FULL_CASES = [
+    ("mct", 3),
+    ("mct-clean-ladder", 3),
+    ("mcu-exponential", 3),
+    ("pk", 3),
+    ("mcu", 3),
+    ("mct", 4),
+]
+QUICK_CASES = FULL_CASES[:3]
+
+#: Extrapolation points re-checked against materialised circuits
+#: (strictly beyond every calibration window, which ends at k = 15/16).
+VALIDATION_POINTS = {False: [("mct", 3, 17), ("mct", 4, 17), ("pk", 3, 18)],
+                     True: [("mct", 3, 17)]}
+
+
+def sweep(cases, ks):
+    rows = []
+    calibration_seconds = {}
+    for name, dim in cases:
+        strategy = registry.get(name)
+        start = time.perf_counter()
+        strategy.estimate(dim, max(k for k in ks if strategy.supports(dim, k)))
+        calibration_seconds[f"{name}/d={dim}"] = round(time.perf_counter() - start, 3)
+        for k in ks:
+            if not strategy.supports(dim, k):
+                continue
+            begin = time.perf_counter()
+            resources = strategy.estimate(dim, k)
+            seconds = time.perf_counter() - begin
+            rows.append(
+                {
+                    "strategy": name,
+                    "d": dim,
+                    "k": k,
+                    "g_gates": resources.g_gates,
+                    "two_qudit_gates": resources.two_qudit_gates,
+                    "depth": resources.depth,
+                    "ancillas": ancilla_kind_label(resources.ancillas)
+                    + (f" x{resources.ancilla_count()}" if resources.ancillas else ""),
+                    "estimate_seconds": round(seconds, 6),
+                }
+            )
+    return rows, calibration_seconds
+
+
+def validate(points):
+    """Exact cross-check of extrapolated estimates vs materialised circuits."""
+    results = []
+    for name, dim, k in points:
+        strategy = registry.get(name)
+        estimated = strategy.estimate(dim, k)
+        report = count_gates(strategy.synthesize(dim, k), lower=True)
+        checks = {
+            "g_gates": (estimated.g_gates, report.g_gates),
+            "two_qudit_gates": (estimated.two_qudit_gates, report.two_qudit_gates),
+            "depth": (estimated.depth, report.depth),
+            "macro_ops": (estimated.macro_ops, report.macro_ops),
+        }
+        ok = all(a == b for a, b in checks.values())
+        results.append(
+            {
+                "strategy": name,
+                "d": dim,
+                "k": k,
+                "ok": ok,
+                **{key: f"{a} vs {b}" for key, (a, b) in checks.items()},
+            }
+        )
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke subset")
+    args = parser.parse_args()
+
+    cases = QUICK_CASES if args.quick else FULL_CASES
+    rows, calibration_seconds = sweep(cases, KS)
+
+    # ------------------------------------------------------------------
+    # Acceptance: warm million-control qutrit MCT estimate under 50 ms.
+    # ------------------------------------------------------------------
+    mct = registry.get("mct")
+    mct.estimate(3, 10**6)  # ensure calibration is warm
+    warm = min(
+        _timed(lambda: mct.estimate(3, 10**6)) for _ in range(5)
+    )
+    headline = mct.estimate(3, 10**6)
+    acceptance = {
+        "case": "mct d=3 k=10^6",
+        "g_gates": headline.g_gates,
+        "depth": headline.depth,
+        "warm_estimate_seconds": warm,
+        "threshold_seconds": ACCEPTANCE_SECONDS,
+        "ok": warm < ACCEPTANCE_SECONDS,
+    }
+
+    validation = validate(VALIDATION_POINTS[args.quick])
+
+    stem = "estimator_scaling_quick" if args.quick else "estimator_scaling"
+    table = render_table(
+        rows,
+        title=(
+            "Analytic estimator scaling (no circuits built); "
+            f"k=10^6 qutrit MCT warm estimate: {warm * 1e6:.0f} µs"
+        ),
+    )
+    table += "\n\n" + render_table(
+        validation, title="Extrapolation vs materialised circuits (beyond calibration)"
+    )
+    emit_table(stem, table)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "quick": args.quick,
+        "ks": KS,
+        "rows": json_safe(rows),
+        "calibration_seconds": calibration_seconds,
+        "validation": validation,
+        "acceptance": acceptance,
+    }
+    json_path = RESULTS_DIR / f"{stem}.json"
+    json_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"[json written to {json_path}]")
+
+    failed = [row for row in validation if not row["ok"]]
+    if failed:
+        print(f"FAIL: estimator diverges from materialised circuits: {failed}")
+        return 1
+    if not acceptance["ok"]:
+        print(
+            f"FAIL: warm k=10^6 estimate took {warm:.4f}s "
+            f"(threshold {ACCEPTANCE_SECONDS}s)"
+        )
+        return 1
+    return 0
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+if __name__ == "__main__":
+    sys.exit(main())

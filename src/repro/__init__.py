@@ -29,6 +29,20 @@ Lowering runs a composable pass pipeline (:mod:`repro.passes` —
 >>> from repro.passes import default_lowering_pipeline
 >>> lowered = lower_to_g_gates(result.circuit)          # same API as always
 >>> state = verify.Statevector(5, 3, backend="tensor")  # pick an engine
+
+Synthesis registry and analytic estimator
+-----------------------------------------
+Every construction is registered as a strategy in :mod:`repro.synth` with
+capability metadata and an exact analytic resource estimator, so scaling
+studies never need to materialise circuits:
+
+>>> from repro import synth, estimate
+>>> synth.names()                                       # doctest: +SKIP
+>>> estimate("mct", 3, 10**6).g_gates                   # doctest: +SKIP
+>>> synth.auto_select(3, 20).strategy.name              # doctest: +SKIP
+
+``python -m repro list|estimate|synthesize`` exposes the same surface on
+the command line.
 """
 
 from repro.core import (
@@ -66,8 +80,10 @@ from repro.passes import (
     default_lowering_pipeline,
 )
 from repro import sim as verify
+from repro import synth
+from repro.resources.estimator import Resources, estimate
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CancelAdjacentInverses",
@@ -99,5 +115,8 @@ __all__ = [
     "XPlus",
     "draw",
     "verify",
+    "synth",
+    "Resources",
+    "estimate",
     "__version__",
 ]

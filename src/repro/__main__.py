@@ -1,0 +1,190 @@
+"""Command-line front door: ``python -m repro {list,estimate,synthesize}``.
+
+Quick scenario exploration over the synthesis registry:
+
+* ``python -m repro list`` — registered strategies with capability metadata;
+* ``python -m repro estimate 3 1000000`` — analytic resource counts for
+  every applicable strategy (no circuit is built), with the ``auto`` pick
+  highlighted; ``--strategy`` restricts to one, ``--json`` emits JSON;
+* ``python -m repro synthesize mct 3 5 --verify --lower`` — build a circuit
+  through the registry, optionally check it against its semantic
+  specification and lower it to G-gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro.bench.formatting import json_safe, render_table
+from repro.core.gate_counts import count_gates
+from repro.exceptions import ReproError, SynthesisError
+from repro.resources.estimator import Resources
+from repro.synth import AncillaBudget, auto_select
+from repro.synth import registry as _registry
+
+
+def _budget_from_args(args) -> Optional[AncillaBudget]:
+    if args.max_clean is None and args.max_borrowed is None and args.max_ancillas is None:
+        return None
+    return AncillaBudget(
+        clean=args.max_clean, borrowed=args.max_borrowed, total=args.max_ancillas
+    )
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_list(args) -> int:
+    rows = []
+    for strategy in _registry.all_strategies():
+        caps = strategy.capabilities
+        rows.append(
+            {
+                "name": strategy.name,
+                "family": caps.family,
+                "d": f"{'/'.join(sorted(caps.parities))} ≥ {caps.min_dim}",
+                "min_k": caps.min_k,
+                "ancillas": caps.ancillas or caps.ancilla_kind,
+                "gates": caps.gates,
+                "estimate": "exact" if caps.analytic else "model",
+                "payload": caps.payload,
+            }
+        )
+    if args.json:
+        print(json.dumps(rows, indent=2, ensure_ascii=False))
+    else:
+        print(render_table(rows, title="Registered synthesis strategies"))
+        print("\nuse: python -m repro estimate <d> <k> [--strategy NAME]")
+    return 0
+
+
+def _resource_row(resources: Resources, seconds: float, chosen: bool) -> dict:
+    row = resources.as_row()
+    row["estimate_seconds"] = round(seconds, 6)
+    row["auto"] = "<<<" if chosen else ""
+    return row
+
+
+def _check_budget(budget, strategy, dim: int, k: int) -> None:
+    """Reject a named strategy that exceeds the requested ancilla budget."""
+    if budget is None:
+        return
+    _, histogram = strategy.layout(dim, k)
+    if not budget.permits(histogram):
+        raise SynthesisError(
+            f"strategy {strategy.name!r} uses ancillas {dict(histogram)} at "
+            f"d={dim}, k={k}, which exceeds the requested budget"
+        )
+
+
+def _cmd_estimate(args) -> int:
+    budget = _budget_from_args(args)
+    rows = []
+    if args.strategy:
+        strategy = _registry.get(args.strategy)
+        _check_budget(budget, strategy, args.d, args.k)
+        strategy.estimate(args.d, args.k)  # warm the calibration cache
+        start = time.perf_counter()
+        resources = strategy.estimate(args.d, args.k)
+        rows.append(_resource_row(resources, time.perf_counter() - start, chosen=False))
+    else:
+        choice = auto_select(args.d, args.k, budget=budget, family=args.family)
+        for name, resources, note in choice.considered:
+            if resources is None:
+                rows.append({"strategy": name, "note": note})
+                continue
+            start = time.perf_counter()
+            resources = _registry.get(name).estimate(args.d, args.k)  # warm timing
+            seconds = time.perf_counter() - start
+            row = _resource_row(resources, seconds, chosen=name == choice.strategy.name)
+            if note:
+                row["note"] = note
+            rows.append(row)
+    if args.json:
+        print(json.dumps(json_safe(rows), indent=2, ensure_ascii=False))
+    else:
+        title = f"Analytic resource estimates: d={args.d}, k={args.k} (no circuits built)"
+        print(render_table(rows, title=title))
+    return 0
+
+
+def _cmd_synthesize(args) -> int:
+    budget = _budget_from_args(args)
+    if args.name == "auto":
+        strategy = auto_select(args.d, args.k, budget=budget).strategy
+        print(f"auto dispatch picked: {strategy.name}")
+    else:
+        strategy = _registry.get(args.name)
+        _check_budget(budget, strategy, args.d, args.k)
+    result = strategy.synthesize(args.d, args.k)
+    print(result.describe())
+    report = count_gates(result, lower=args.lower)
+    print(render_table([report.as_row()], title="gate counts"))
+    if args.verify:
+        try:
+            strategy.verify(result, args.d, args.k)
+        except NotImplementedError:
+            print("verify: no canonical specification for this strategy", file=sys.stderr)
+            return 2
+        print("verify: OK (matches the semantic specification)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="registered strategies with capabilities")
+    p_list.add_argument("--json", action="store_true", help="emit JSON")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_est = sub.add_parser("estimate", help="analytic resource counts (no circuit built)")
+    p_est.add_argument("d", type=int, help="qudit dimension")
+    p_est.add_argument("k", type=int, help="size parameter (controls / digits / qudits)")
+    p_est.add_argument("--strategy", help="restrict to one registered strategy")
+    p_est.add_argument("--family", default="toffoli", help="family for auto ranking")
+    p_est.add_argument("--json", action="store_true", help="emit JSON")
+    p_est.set_defaults(func=_cmd_estimate)
+
+    p_syn = sub.add_parser("synthesize", help="build a circuit through the registry")
+    p_syn.add_argument("name", help='strategy name (or "auto")')
+    p_syn.add_argument("d", type=int, help="qudit dimension")
+    p_syn.add_argument("k", type=int, help="size parameter")
+    p_syn.add_argument("--verify", action="store_true", help="check the semantic spec")
+    p_syn.add_argument(
+        "--lower", action="store_true", help="count after lowering to G-gates"
+    )
+    p_syn.set_defaults(func=_cmd_synthesize)
+
+    for p in (p_est, p_syn):
+        p.add_argument("--max-clean", type=int, default=None, help="ancilla budget: clean")
+        p.add_argument(
+            "--max-borrowed", type=int, default=None, help="ancilla budget: borrowed"
+        )
+        p.add_argument(
+            "--max-ancillas", type=int, default=None, help="ancilla budget: total"
+        )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -111,7 +111,13 @@ def controlled_increment_ops(
 
 
 def synthesize_increment(dim: int, n: int) -> SynthesisResult:
-    """Build the +1 circuit on a fresh ``n``-qudit register."""
+    """Build the +1 circuit on a fresh ``n``-qudit register.
+
+    .. note::
+       Registered in :mod:`repro.synth` as the ``"increment"`` strategy
+       (``k`` = register digits), with an exact estimate for small registers
+       and a stacked-MCU cost model beyond.
+    """
     if dim < 3:
         raise DimensionError("the paper's constructions require d >= 3")
     if n < 1:

@@ -137,6 +137,11 @@ def synthesize_reversible_function(
     The circuit acts on wires ``0 .. n-1``; for even ``d`` (and ``n >= 3``)
     one extra borrowed-ancilla wire ``n`` is appended.  For odd ``d`` the
     implementation is ancilla-free.
+
+    .. note::
+       Registered in :mod:`repro.synth` as the ``"reversible"`` strategy
+       (``k`` = variables, ``function`` kwarg; canonical payload: the seed-0
+       random bijection) with a worst-case O(n·d^n) cost model.
     """
     if dim < 3:
         raise DimensionError("the paper's constructions require d >= 3")

@@ -99,6 +99,11 @@ def synthesize_unitary(unitary: np.ndarray, dim: int, num_qudits: int) -> Synthe
     ancilla wire ``n`` is appended (the single clean ancilla of the theorem).
     The two-qudit gate count is ``O(d^{2n})`` — the optimal order — and is
     reported by :func:`repro.core.count_gates`.
+
+    .. note::
+       Registered in :mod:`repro.synth` as the ``"unitary"`` strategy
+       (``k`` = qudits, ``unitary`` kwarg; canonical payload: the seed-0
+       Haar-random unitary) with a macro-level O(d^{2n}) cost model.
     """
     if dim < 3:
         raise DimensionError("the paper's constructions require d >= 3")

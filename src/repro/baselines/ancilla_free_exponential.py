@@ -116,6 +116,11 @@ def synthesize_mcu_exponential(dim: int, num_controls: int, payload=None) -> Syn
 
     Wires ``0 .. k-1`` are controls, wire ``k`` is the target; no ancilla.
     ``payload`` defaults to the det-normalised Toffoli payload.
+
+    .. note::
+       Registered in :mod:`repro.synth` as ``"mcu-exponential"`` with a
+       closed-form Θ(2^k) estimator; for very small ``k`` the ``auto``
+       dispatcher correctly prefers it over the linear constructions.
     """
     if dim < 2:
         raise DimensionError("dimension must be at least 2")

@@ -119,6 +119,11 @@ def synthesize_mct_clean_ladder(
 
     Wires ``0 .. k-1`` are controls, wire ``k`` the target and wires
     ``k+1 ...`` the clean ancillas.
+
+    .. note::
+       Registered in :mod:`repro.synth` as ``"mct-clean-ladder"``; the
+       ``auto`` dispatcher ranks it against the paper's constructions by
+       estimated cost (``repro.synth.auto_select``).
     """
     if dim < 3:
         raise DimensionError("the counting ladder requires d >= 3")

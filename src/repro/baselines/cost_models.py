@@ -10,6 +10,11 @@ paper's comparison.
 
 Every model returns a :class:`CostEstimate` with the two-qudit-gate count
 and ancilla usage for a k-controlled Toffoli on d-level qudits.
+
+For the *implemented* methods, prefer the exact calibrated estimators of
+:mod:`repro.resources.estimator` (reachable through the strategy registry,
+``repro.synth.estimate(name, d, k)``); the asymptotic models here cover only
+the unimplemented literature rows of the comparison tables.
 """
 
 from __future__ import annotations

@@ -1,10 +1,20 @@
 """Benchmark-harness helpers: table builders and plain-text rendering."""
 
-from repro.bench.formatting import render_series, render_table
+from repro.bench.formatting import (
+    ancilla_columns,
+    ancilla_kind_label,
+    counts_row,
+    json_safe,
+    render_series,
+    render_table,
+    sci_notation,
+)
 from repro.bench.tables import (
     ancilla_count_rows,
     baseline_comparison_rows,
+    cliffordt_estimate_rows,
     cliffordt_rows,
+    estimator_scaling_rows,
     linearity_summary,
     mcu_rows,
     reversible_rows,
@@ -13,11 +23,18 @@ from repro.bench.tables import (
 )
 
 __all__ = [
+    "ancilla_columns",
+    "ancilla_kind_label",
+    "counts_row",
+    "json_safe",
     "render_series",
     "render_table",
+    "sci_notation",
     "ancilla_count_rows",
     "baseline_comparison_rows",
+    "cliffordt_estimate_rows",
     "cliffordt_rows",
+    "estimator_scaling_rows",
     "linearity_summary",
     "mcu_rows",
     "reversible_rows",

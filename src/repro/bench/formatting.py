@@ -7,7 +7,8 @@ harness materialises them as measured tables; see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
 
 
 def render_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
@@ -57,4 +58,82 @@ def _fmt(value: object) -> str:
         if abs(value) >= 1e6 or abs(value) < 1e-3:
             return f"{value:.3e}"
         return f"{value:.3f}".rstrip("0").rstrip(".")
+    if (
+        isinstance(value, int)
+        and not isinstance(value, bool)
+        and abs(value) >= BIG_INT_THRESHOLD
+    ):
+        return sci_notation(value)
     return str(value)
+
+
+#: Integers at or above this magnitude render/serialise in scientific
+#: notation (their exact decimal expansion stops being useful to a reader).
+BIG_INT_THRESHOLD = 10**15
+
+
+def json_safe(value):
+    """JSON-encodable view of a value tree.
+
+    Huge integers (e.g. the Θ(2^k) baseline's counts, whose decimal form
+    can run to hundreds of thousands of digits) become sci-notation strings.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int) and abs(value) >= BIG_INT_THRESHOLD:
+        return sci_notation(value)
+    if isinstance(value, dict):
+        return {key: json_safe(inner) for key, inner in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(inner) for inner in value]
+    return value
+
+
+def sci_notation(value: int) -> str:
+    """Scientific notation for arbitrarily large integers.
+
+    Exponential baselines produce counts like ``3·2^999999`` whose decimal
+    expansion has hundreds of thousands of digits (and ``float`` overflows),
+    so the mantissa/exponent are computed from the bit length instead.
+    """
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    bits = magnitude.bit_length()
+    if bits <= 53:
+        return f"{float(value):.3e}"
+    shift = bits - 53
+    log10 = math.log10(magnitude >> shift) + shift * math.log10(2)
+    exponent = int(log10)
+    mantissa = round(10.0 ** (log10 - exponent), 3)
+    if mantissa >= 10.0:  # rounding crossed a power of ten
+        mantissa /= 10.0
+        exponent += 1
+    sign = "-" if value < 0 else ""
+    return f"{sign}{mantissa:.3f}e+{exponent}"
+
+
+# ----------------------------------------------------------------------
+# Shared row-building helpers (GateCountReport.as_row, Resources.as_row and
+# the table builders in repro.bench.tables all route through these).
+# ----------------------------------------------------------------------
+def ancilla_columns(ancillas: Mapping[str, int]) -> Dict[str, int]:
+    """Flatten an ancilla histogram into sorted ``ancilla_<kind>`` columns."""
+    return {f"ancilla_{kind}": count for kind, count in sorted(ancillas.items()) if count}
+
+
+def ancilla_kind_label(ancillas: Mapping[str, int]) -> str:
+    """One-word ancilla summary for comparison tables: kind or ``none``."""
+    kinds = sorted(kind for kind, count in ancillas.items() if count)
+    if not kinds:
+        return "none"
+    if len(kinds) == 1:
+        return kinds[0]
+    return "+".join(kinds)
+
+
+def counts_row(base: Dict[str, object], ancillas: Mapping[str, int]) -> Dict[str, object]:
+    """A table row: ``base`` columns followed by the ancilla histogram."""
+    row = dict(base)
+    row.update(ancilla_columns(ancillas))
+    return row

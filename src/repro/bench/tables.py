@@ -18,6 +18,7 @@ from repro.baselines.cost_models import (
     standard_clean_ancilla_model,
     yeh_vdw_model,
 )
+from repro.bench.formatting import ancilla_kind_label
 from repro.core.gate_counts import count_gates
 from repro.core.toffoli import synthesize_mct
 from repro.core.multi_controlled_unitary import random_unitary_gate, synthesize_mcu
@@ -88,7 +89,7 @@ def baseline_comparison_rows(dim: int, ks: Sequence[int]) -> List[Dict[str, obje
                 "method": "this paper (measured)",
                 "two_qudit_gates": ours_report.g_gates,
                 "ancillas": ours.ancilla_count(),
-                "ancilla_kind": "borrowed" if ours.ancilla_count() else "none",
+                "ancilla_kind": ancilla_kind_label(ours_report.ancillas),
             }
         )
         ladder = synthesize_mct_clean_ladder(dim, k)
@@ -98,10 +99,9 @@ def baseline_comparison_rows(dim: int, ks: Sequence[int]) -> List[Dict[str, obje
                 "d": dim,
                 "k": k,
                 "method": "clean-ancilla ladder [5,23] (measured)",
-                "two_qudit_gates": ladder_report.two_qudit_gates + ladder_report.macro_ops
-                - ladder_report.two_qudit_gates,
+                "two_qudit_gates": ladder_report.macro_ops,
                 "ancillas": clean_ancilla_count(dim, k),
-                "ancilla_kind": "clean" if clean_ancilla_count(dim, k) else "none",
+                "ancilla_kind": ancilla_kind_label(ladder_report.ancillas),
             }
         )
         for model in (standard_clean_ancilla_model, di_wei_model, yeh_vdw_model, moraga_exponential_model):
@@ -193,6 +193,48 @@ def reversible_rows(dims: Sequence[int], ns: Sequence[int], *, lower: bool = Fal
                     "ancillas": result.ancilla_count(),
                 }
             )
+    return rows
+
+
+def estimator_scaling_rows(
+    dim: int, ks: Sequence[int], strategies: Sequence[str] = ("mct",)
+) -> List[Dict[str, object]]:
+    """Exact analytic resource counts at arbitrary k — no circuits built.
+
+    Rows come from the registry's calibrated estimators
+    (:mod:`repro.resources.estimator`), so ``ks`` can range to ``10^6`` and
+    beyond; this is how the scaling tables escape the materialisation cap.
+    """
+    from repro.synth import registry  # lazy: bench is imported by scripts only
+
+    rows: List[Dict[str, object]] = []
+    for name in strategies:
+        strategy = registry.get(name)
+        for k in ks:
+            if not strategy.supports(dim, k):
+                continue
+            rows.append(strategy.estimate(dim, k).as_row())
+    return rows
+
+
+def cliffordt_estimate_rows(ks: Sequence[int]) -> List[Dict[str, object]]:
+    """E10 at estimator scale: qutrit Clifford+T cost vs the [24] model,
+    computed analytically (meaningful up to k = 10^6 and beyond)."""
+    from repro.resources.cliffordt import clifford_t_estimate
+
+    rows = []
+    for k in ks:
+        cost = clifford_t_estimate(k)
+        model = yeh_vdw_toffoli_model(k)
+        rows.append(
+            {
+                "k": k,
+                "ours_T": cost.t_count,
+                "ours_total": cost.total(),
+                "yeh_vdw_model_total": round(model, 0),
+                "ratio_model/ours": round(model / max(cost.total(), 1), 2),
+            }
+        )
     return rows
 
 

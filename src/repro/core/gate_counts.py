@@ -34,18 +34,23 @@ class GateCountReport:
 
     def as_row(self) -> Dict[str, object]:
         """Flatten into a dictionary suitable for table rendering."""
-        row: Dict[str, object] = {
-            "name": self.name,
-            "d": self.dim,
-            "wires": self.num_wires,
-            "macro_ops": self.macro_ops,
-            "two_qudit_gates": self.two_qudit_gates,
-            "g_gates": self.g_gates,
-            "depth": self.depth,
-        }
-        for kind, count in sorted(self.ancillas.items()):
-            row[f"ancilla_{kind}"] = count
-        return row
+        # Lazy import: repro.bench.tables imports this module at package
+        # init, so pulling the shared row helper in at call time avoids the
+        # cycle while keeping one formatting implementation.
+        from repro.bench.formatting import counts_row
+
+        return counts_row(
+            {
+                "name": self.name,
+                "d": self.dim,
+                "wires": self.num_wires,
+                "macro_ops": self.macro_ops,
+                "two_qudit_gates": self.two_qudit_gates,
+                "g_gates": self.g_gates,
+                "depth": self.depth,
+            },
+            self.ancillas,
+        )
 
 
 def count_gates(

@@ -83,6 +83,11 @@ def synthesize_mcu(
     ``k >= 2``, wire ``k+1`` is the clean ancilla.  The construction uses
     ``O(k · poly(d))`` two-qudit gates and exactly one clean ancilla,
     matching the headline result of Section III.
+
+    .. note::
+       Registered in :mod:`repro.synth` as the ``"mcu"`` strategy; its exact
+       analytic estimator refers to the canonical ``X01`` payload
+       (``repro.synth.estimate("mcu", d, k)``).
     """
     controls = list(range(num_controls))
     target = num_controls

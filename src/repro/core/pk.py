@@ -202,6 +202,11 @@ def synthesize_pk(dim: int, k: int, *, one_ancilla: bool = True) -> SynthesisRes
     one extra wire is appended as a borrowed ancilla when needed
     (``one_ancilla=True`` uses the Fig. 9 construction, otherwise the Fig. 8
     ladder with ``k − 2`` borrowed wires is used).
+
+    .. note::
+       Registered in :mod:`repro.synth` as the ``"pk"`` strategy, which adds
+       capability metadata, canonical verification and an exact analytic
+       estimator (``repro.synth.estimate("pk", d, k)``).
     """
     if dim % 2 == 0 or dim < 3:
         raise DimensionError("P_k is defined for odd d >= 3")

@@ -12,12 +12,11 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.exceptions import DimensionError, SynthesisError
-from repro.qudit.ancilla import AncillaKind, SynthesisResult
-from repro.qudit.circuit import QuditCircuit
+from repro.qudit.ancilla import SynthesisResult
 from repro.qudit.operations import BaseOp
 from repro.core.single_controlled import control_value_conjugation_ops
-from repro.core.toffoli_even import mct_even_ops, synthesize_mct_even
-from repro.core.toffoli_odd import mct_odd_ops, synthesize_mct_odd
+from repro.core.toffoli_even import mct_even_ops
+from repro.core.toffoli_odd import mct_odd_ops
 
 
 def mct_ops(
@@ -78,33 +77,15 @@ def synthesize_mct(
     ``d`` (and ``k >= 2``) wire ``k+1`` is one borrowed ancilla.  This is the
     main theorem of the paper: ``O(k · poly(d))`` G-gates with no ancilla for
     odd ``d`` and one borrowed ancilla for even ``d``.
-    """
-    if control_values is None and swap == (0, 1):
-        if dim % 2 == 1:
-            return synthesize_mct_odd(dim, num_controls)
-        return synthesize_mct_even(dim, num_controls)
 
-    controls = list(range(num_controls))
-    target = num_controls
-    needs_borrow = dim % 2 == 0 and num_controls >= 2
-    borrow = num_controls + 1 if needs_borrow else None
-    num_wires = num_controls + (2 if needs_borrow else 1)
-    circuit = QuditCircuit(num_wires, dim, name=f"MCT(k={num_controls}, d={dim})")
-    circuit.extend(
-        mct_ops(
-            dim,
-            controls,
-            target,
-            borrow=borrow,
-            control_values=control_values,
-            swap=swap,
-        )
-    )
-    ancillas = {borrow: AncillaKind.BORROWED} if needs_borrow else {}
-    return SynthesisResult(
-        circuit=circuit,
-        controls=tuple(controls),
-        target=target,
-        ancillas=ancillas,
-        notes="Theorems III.2 / III.6 with control-value conjugation",
+    .. note::
+       Registry-backed wrapper: the construction lives in the ``"mct"``
+       strategy of :mod:`repro.synth`, which also carries capability
+       metadata and an exact analytic estimator
+       (``repro.synth.estimate("mct", d, k)`` counts without building).
+    """
+    from repro.synth import registry  # lazy: repro.synth imports this module
+
+    return registry.get("mct").synthesize(
+        dim, num_controls, control_values=control_values, swap=swap
     )

@@ -40,3 +40,10 @@ class SynthesisError(ReproError):
 class VerificationError(ReproError):
     """Raised by the verification helpers when a circuit does not implement
     its specification."""
+
+
+class EstimationError(ReproError):
+    """Raised when the analytic resource estimator cannot produce an exact
+    count — an unsupported strategy/parameter combination, or a calibration
+    whose measured finite differences are not affine (which would make
+    extrapolation silently wrong, so it is refused instead)."""

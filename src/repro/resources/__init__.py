@@ -1,12 +1,29 @@
-"""Resource estimation (fault-tolerant Clifford+T costs for qutrits)."""
+"""Resource estimation: analytic gate counts and fault-tolerant costs.
+
+* :mod:`repro.resources.estimator` — exact "count without building"
+  estimates for registered synthesis strategies (calibrated affine
+  recurrences, validated gate-for-gate against lowered circuits);
+* :mod:`repro.resources.cliffordt` — the qutrit Clifford+T cost model of
+  Section IV.B, with both measured (:func:`clifford_t_cost`) and analytic
+  (:func:`clifford_t_estimate`) entry points.
+"""
 
 from repro.resources.cliffordt import (
     DEFAULT_PARAMS,
     CliffordTCost,
     CliffordTParams,
     clifford_t_cost,
+    clifford_t_estimate,
     yeh_vdw_reversible_model,
     yeh_vdw_toffoli_model,
+)
+from repro.resources.estimator import (
+    METRIC_FIELDS,
+    AffineSpec,
+    Resources,
+    estimate,
+    measure,
+    sum_estimates,
 )
 
 __all__ = [
@@ -14,6 +31,13 @@ __all__ = [
     "CliffordTCost",
     "CliffordTParams",
     "clifford_t_cost",
+    "clifford_t_estimate",
     "yeh_vdw_reversible_model",
     "yeh_vdw_toffoli_model",
+    "METRIC_FIELDS",
+    "AffineSpec",
+    "Resources",
+    "estimate",
+    "measure",
+    "sum_estimates",
 ]
