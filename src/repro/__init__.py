@@ -30,6 +30,20 @@ Lowering runs a composable pass pipeline (:mod:`repro.passes` —
 >>> lowered = lower_to_g_gates(result.circuit)          # same API as always
 >>> state = verify.Statevector(5, 3, backend="tensor")  # pick an engine
 
+Columnar IR (struct-of-arrays gate tables)
+------------------------------------------
+Materialised circuits have a compact columnar twin, :class:`GateTable`
+(:mod:`repro.ir`): numpy int columns for opcode/wires/predicates plus
+interned payload pools.  ``circuit.to_table()`` / ``table.to_circuit()``
+round-trip losslessly; ``lower_to_g_gates`` lowers through cached expansion
+templates straight into a table (pass ``engine="object"`` for the pure
+object pipeline), so counting, peephole passes and backend application of a
+lowered circuit all run as column kernels:
+
+>>> lowered = lower_to_g_gates(result.circuit)          # table-backed
+>>> lowered.g_gate_count(), lowered.depth()             # doctest: +SKIP
+>>> lowered.cached_table                                # doctest: +SKIP
+
 Synthesis registry and analytic estimator
 -----------------------------------------
 Every construction is registered as a strategy in :mod:`repro.synth` with
@@ -81,9 +95,10 @@ from repro.passes import (
 )
 from repro import sim as verify
 from repro import synth
+from repro.ir import GateTable
 from repro.resources.estimator import Resources, estimate
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CancelAdjacentInverses",
@@ -116,6 +131,7 @@ __all__ = [
     "draw",
     "verify",
     "synth",
+    "GateTable",
     "Resources",
     "estimate",
     "__version__",

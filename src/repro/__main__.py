@@ -1,4 +1,4 @@
-"""Command-line front door: ``python -m repro {list,estimate,synthesize}``.
+"""Command-line front door: ``python -m repro {list,estimate,synthesize,simulate}``.
 
 Quick scenario exploration over the synthesis registry:
 
@@ -8,7 +8,11 @@ Quick scenario exploration over the synthesis registry:
   highlighted; ``--strategy`` restricts to one, ``--json`` emits JSON;
 * ``python -m repro synthesize mct 3 5 --verify --lower`` — build a circuit
   through the registry, optionally check it against its semantic
-  specification and lower it to G-gates.
+  specification and lower it to G-gates;
+* ``python -m repro simulate mct 3 6 --backend tensor --state 0,0,0,0,0,0,2``
+  — build, lower and actually run a circuit on a chosen basis state through
+  a simulation backend; ``--table`` (default) lowers through the columnar
+  ``GateTable`` fast path, ``--no-table`` through the object pipeline.
 """
 
 from __future__ import annotations
@@ -134,6 +138,63 @@ def _cmd_synthesize(args) -> int:
     return 0
 
 
+def _cmd_simulate(args) -> int:
+    from repro.core.lowering import lower_to_g_gates
+    from repro.sim import Statevector, available_backends, get_backend
+
+    get_backend(args.backend)  # fail fast on unknown names
+    if args.name == "auto":
+        strategy = auto_select(args.d, args.k, budget=_budget_from_args(args)).strategy
+        print(f"auto dispatch picked: {strategy.name}")
+    else:
+        strategy = _registry.get(args.name)
+    result = strategy.synthesize(args.d, args.k)
+    circuit = result.circuit
+
+    start = time.perf_counter()
+    engine = "table" if args.table else "object"
+    lowered = lower_to_g_gates(circuit, engine=engine) if circuit.is_permutation else circuit
+    lower_seconds = time.perf_counter() - start
+
+    if args.state:
+        digits = [int(x) for x in args.state.replace(",", " ").split()]
+        if len(digits) != circuit.num_wires:
+            raise SynthesisError(
+                f"--state needs {circuit.num_wires} digits for this circuit, got {len(digits)}"
+            )
+        state = Statevector.from_basis_state(digits, args.d, backend=args.backend)
+    else:
+        digits = [0] * circuit.num_wires
+        state = Statevector(circuit.num_wires, args.d, backend=args.backend)
+
+    start = time.perf_counter()
+    state.apply_circuit(lowered)
+    sim_seconds = time.perf_counter() - start
+    outcome = list(state.most_probable())
+
+    row = {
+        "strategy": strategy.name,
+        "d": args.d,
+        "k": args.k,
+        "backend": args.backend,
+        "path": engine,
+        "gates": lowered.num_ops(),
+        "lower_seconds": round(lower_seconds, 4),
+        "sim_seconds": round(sim_seconds, 4),
+        "input": "".join(map(str, digits)),
+        "output": "".join(map(str, outcome)),
+    }
+    if args.json:
+        print(json.dumps(json_safe(row), indent=2, ensure_ascii=False))
+    else:
+        title = (
+            f"Simulate {strategy.name}: d={args.d}, k={args.k} "
+            f"[{engine} path, backends: {'/'.join(available_backends())}]"
+        )
+        print(render_table([row], title=title))
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
@@ -166,7 +227,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_syn.set_defaults(func=_cmd_synthesize)
 
-    for p in (p_est, p_syn):
+    p_sim = sub.add_parser("simulate", help="build, lower and run a circuit on a backend")
+    p_sim.add_argument("name", help='strategy name (or "auto")')
+    p_sim.add_argument("d", type=int, help="qudit dimension")
+    p_sim.add_argument("k", type=int, help="size parameter")
+    p_sim.add_argument(
+        "--backend", default="dense", help="simulation engine (dense, tensor, ...)"
+    )
+    p_sim.add_argument(
+        "--table",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="lower through the columnar GateTable fast path (--no-table: object pipeline)",
+    )
+    p_sim.add_argument(
+        "--state", help="input basis state digits, e.g. 0,0,1,2 (default: all zeros)"
+    )
+    p_sim.add_argument("--json", action="store_true", help="emit JSON")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    for p in (p_est, p_syn, p_sim):
         p.add_argument("--max-clean", type=int, default=None, help="ancilla budget: clean")
         p.add_argument(
             "--max-borrowed", type=int, default=None, help="ancilla budget: borrowed"

@@ -75,9 +75,8 @@ def count_gates(
     macro_ops = circuit.num_ops()
     counted = lower_to_g_gates(circuit) if lower and circuit.is_permutation else circuit
     g_gates = counted.g_gate_count()
-    controlled = counted.count(
-        lambda op: getattr(op, "num_controls", 0) == 1 and op.is_g_gate(counted.dim)
-    )
+    # Column kernel when the counted circuit is table-backed (post-lowering).
+    controlled = counted.controlled_g_gate_count()
     return GateCountReport(
         name=name or circuit.name,
         dim=circuit.dim,

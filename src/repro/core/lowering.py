@@ -1,12 +1,23 @@
 """Lowering facade: expand macro operations down to the G-gate set.
 
-Historically this module housed a monolithic fixed-point rewriter.  The
+Historically this module housed a monolithic fixed-point rewriter; the
 machinery now lives in the composable pass pipeline under
-:mod:`repro.passes` (:class:`~repro.passes.ExpandMacros` plus the peephole
-cleanup passes); :func:`lower_to_g_gates` is kept as a thin compatibility
+:mod:`repro.passes` and, for the hot path, in the columnar IR under
+:mod:`repro.ir`.  :func:`lower_to_g_gates` is kept as a thin compatibility
 wrapper so every existing caller keeps working unchanged.  The optimization
-passes in the default pipeline only remove or merge operations, so lowered
-G-gate counts can shrink relative to plain expansion but never grow.
+passes in both engines only remove or merge operations, so lowered G-gate
+counts can shrink relative to plain expansion but never grow.
+
+Two engines produce gate-for-gate identical output (asserted by the test
+suite):
+
+* ``"table"`` (default) — template-based expansion straight into a
+  struct-of-arrays :class:`~repro.ir.table.GateTable` followed by the
+  columnar cancel/drop kernels; returns a table-backed circuit whose
+  counting queries run as column kernels and whose op objects materialise
+  only if something iterates them.
+* ``"object"`` — the pass pipeline over per-op Python objects, exactly the
+  pre-columnar behavior.
 """
 
 from __future__ import annotations
@@ -14,16 +25,26 @@ from __future__ import annotations
 from repro.exceptions import SynthesisError
 from repro.qudit.circuit import QuditCircuit
 
-#: Safety bound on the number of rewriting sweeps, threaded through to
-#: :class:`~repro.passes.ExpandMacros` below.
+#: Safety bound on the number of rewriting sweeps (and, in the table engine,
+#: on the per-op expansion recursion depth — sweeps bound nesting depth).
 _MAX_PASSES = 12
 
 
-def lower_to_g_gates(circuit: QuditCircuit) -> QuditCircuit:
+def lower_to_g_gates(circuit: QuditCircuit, *, engine: str = "table") -> QuditCircuit:
     """Return an equivalent circuit consisting solely of G-gates."""
-    # Imported lazily: repro.passes pulls in repro.core synthesis modules,
-    # and a module-level import here would close that cycle during package
-    # initialisation.
+    if engine == "table":
+        # Imported lazily: repro.ir.lowering reaches into repro.passes, which
+        # pulls in repro.core synthesis modules; a module-level import here
+        # would close that cycle during package initialisation.
+        from repro.ir.lowering import lower_circuit_to_table
+
+        table = lower_circuit_to_table(circuit, max_sweeps=_MAX_PASSES)
+        if not table.is_g_circuit():  # pragma: no cover - defensive
+            raise SynthesisError("lowering did not converge to G-gates")
+        return QuditCircuit.from_table(table, name=f"{circuit.name} [G]")
+    if engine != "object":
+        raise SynthesisError(f"unknown lowering engine {engine!r}; use 'table' or 'object'")
+
     from repro.passes import default_lowering_pipeline
 
     lowered = default_lowering_pipeline(max_sweeps=_MAX_PASSES).run(circuit)

@@ -1,0 +1,210 @@
+"""Table-native peephole rewrites (the columnar form of ``repro.passes``).
+
+Each kernel consumes a :class:`~repro.ir.table.GateTable` and returns a new
+one sharing the same pools, implementing exactly the semantics of the
+object-level passes in :mod:`repro.passes.optimize` — the two paths are
+gate-for-gate identical, which the test suite asserts:
+
+* :func:`drop_identities` — one vectorized mask over the payload/predicate
+  annotation flags;
+* :func:`cancel_adjacent_inverses` — a single linear sweep with per-wire
+  last-op stacks (no backward rescans, no list copies) over plain int
+  columns;
+* :func:`fuse_single_qudit` — a single linear sweep with a per-wire
+  last-touch index, composing payloads through the interned pools.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.ir.table import OP_PERM, OP_STAR, OP_UNITARY, GateTable
+
+
+def drop_identities(table: GateTable) -> GateTable:
+    """Remove rows that act as the identity on every basis state.
+
+    Mirrors ``DropIdentities``: only controlled-gate rows are candidates
+    (star rows never are); a row is dropped when its payload is the identity
+    or when a control predicate that can never fire precedes any predicate
+    that is invalid for this ``dim`` (invalid predicates keep the row for the
+    simulator to reject, exactly like the object pass's ``GateError`` branch).
+    """
+    n = len(table)
+    if not n:
+        return table
+    preds = table.pools.preds
+    never = preds.never_fires(table.dim)
+    invalid = preds.invalid_for(table.dim)
+    m_gate = table.opcode != OP_STAR
+
+    pa = np.where(table.pred_a >= 0, table.pred_a, 0)
+    pb = np.where(table.pred_b >= 0, table.pred_b, 0)
+    has_a = table.wire_a >= 0
+    has_b = table.wire_b >= 0
+    # Position of the first never-firing / first invalid predicate, scanning
+    # the controls in order (inline slot a, slot b, then the overflow list);
+    # ``any(...)`` in the object pass stops at whichever comes first.
+    big = np.iinfo(np.int64).max
+    first_never = np.where(has_a & never[pa], 0, np.where(has_b & never[pb], 1, big))
+    first_invalid = np.where(has_a & invalid[pa], 0, np.where(has_b & invalid[pb], 1, big))
+    for i in np.nonzero(table.extra >= 0)[0].tolist():
+        if first_never[i] != big or first_invalid[i] != big:
+            continue
+        for position, (_, pid) in enumerate(table.pools.extras.entry(int(table.extra[i])), 2):
+            if never[pid]:
+                first_never[i] = position
+                break
+            if invalid[pid]:
+                first_invalid[i] = position
+                break
+    dead_controls = m_gate & (first_never < first_invalid)
+
+    m_perm = table.opcode == OP_PERM
+    m_unitary = table.opcode == OP_UNITARY
+    identity_payload = (
+        m_perm & table.pools.perms.is_identity()[np.where(m_perm, table.payload, 0)]
+    ) | (m_unitary & table.pools.unitaries.is_identity()[np.where(m_unitary, table.payload, 0)])
+    drop = dead_controls | (m_gate & identity_payload & (first_invalid == big))
+    if not drop.any():
+        return table
+    return table.select(~drop)
+
+
+def _row_wires(table: GateTable, i: int, targets, wires_a, wires_b, extras) -> List[int]:
+    wires = [targets[i]]
+    if wires_a[i] >= 0:
+        wires.append(wires_a[i])
+    if wires_b[i] >= 0:
+        wires.append(wires_b[i])
+    if extras[i] >= 0:
+        wires.extend(w for w, _ in table.pools.extras.entry(extras[i]))
+    return wires
+
+
+def cancel_adjacent_inverses(table: GateTable) -> GateTable:
+    """Remove ``U, U†`` row pairs separated only by wire-disjoint rows.
+
+    Linear sweep: per-wire stacks of surviving row indices make "the nearest
+    prior row sharing a wire" an O(1) lookup, and cancellation pops exactly
+    the stack tops (two cancelling rows use identical wire sets), so the
+    whole pass is O(rows + wire incidences).
+    """
+    n = len(table)
+    if not n:
+        return table
+    opcode = table.opcode.tolist()
+    targets = table.target.tolist()
+    wires_a = table.wire_a.tolist()
+    wires_b = table.wire_b.tolist()
+    preds_a = table.pred_a.tolist()
+    preds_b = table.pred_b.tolist()
+    payloads = table.payload.tolist()
+    extras = table.extra.tolist()
+
+    perms = table.pools.perms
+    struct = perms.struct_ids().tolist()
+    inverse_struct = perms.inverse_struct_ids().tolist()
+    unitaries = table.pools.unitaries
+
+    def rows_cancel(j: int, i: int) -> bool:
+        if (
+            opcode[j] != opcode[i]
+            or targets[j] != targets[i]
+            or wires_a[j] != wires_a[i]
+            or wires_b[j] != wires_b[i]
+            or preds_a[j] != preds_a[i]
+            or preds_b[j] != preds_b[i]
+            or extras[j] != extras[i]
+        ):
+            return False
+        code = opcode[j]
+        if code == OP_STAR:
+            return payloads[j] == -payloads[i]
+        if code == OP_PERM:
+            partner = inverse_struct[payloads[j]]
+            return partner >= 0 and partner == struct[payloads[i]]
+        return unitaries.cancels(payloads[j], payloads[i])
+
+    alive = [True] * n
+    stacks: List[List[int]] = [[] for _ in range(table.num_wires)]
+    for i in range(n):
+        wires = _row_wires(table, i, targets, wires_a, wires_b, extras)
+        prior = -1
+        for w in wires:
+            stack = stacks[w]
+            if stack and stack[-1] > prior:
+                prior = stack[-1]
+        if prior >= 0 and rows_cancel(prior, i):
+            # Cancelling rows share one wire set, so ``prior`` tops them all.
+            for w in wires:
+                stacks[w].pop()
+            alive[prior] = False
+            alive[i] = False
+            continue
+        for w in wires:
+            stacks[w].append(i)
+    mask = np.asarray(alive, dtype=bool)
+    if mask.all():
+        return table
+    return table.select(mask)
+
+
+def fuse_single_qudit(table: GateTable) -> GateTable:
+    """Fuse runs of uncontrolled single-qudit rows on one wire into one row.
+
+    Mirrors ``FuseSingleQuditGates``: a per-wire last-touch index finds the
+    nearest prior row on the target wire in O(1); when that row is itself an
+    uncontrolled single-qudit gate the payloads compose through the pools
+    (permutation·permutation stays a permutation, anything dense becomes a
+    dense unitary) and the later row is dropped.
+    """
+    n = len(table)
+    if not n:
+        return table
+    opcode = table.opcode.tolist()
+    targets = table.target.tolist()
+    wires_a = table.wire_a.tolist()
+    wires_b = table.wire_b.tolist()
+    payloads = table.payload.tolist()
+    extras = table.extra.tolist()
+
+    perms = table.pools.perms
+    unitaries = table.pools.unitaries
+
+    def fusable(i: int) -> bool:
+        return opcode[i] != OP_STAR and wires_a[i] < 0
+
+    alive = [True] * n
+    last = [-1] * table.num_wires
+    for i in range(n):
+        if fusable(i):
+            j = last[targets[i]]
+            if j >= 0 and fusable(j):
+                # ``j`` touches only its target, which equals this row's target.
+                if opcode[j] == OP_PERM and opcode[i] == OP_PERM:
+                    payloads[j] = perms.fuse_id(payloads[j], payloads[i])
+                else:
+                    first = (
+                        unitaries.intern(perms.gate(payloads[j]))
+                        if opcode[j] == OP_PERM
+                        else payloads[j]
+                    )
+                    second = (
+                        unitaries.intern(perms.gate(payloads[i]))
+                        if opcode[i] == OP_PERM
+                        else payloads[i]
+                    )
+                    payloads[j] = unitaries.fuse_id(first, second)
+                    opcode[j] = OP_UNITARY
+                alive[i] = False
+                continue
+        for w in _row_wires(table, i, targets, wires_a, wires_b, extras):
+            last[w] = i
+    mask = np.asarray(alive, dtype=bool)
+    out = table.replace_columns(opcode=opcode, payload=payloads)
+    if mask.all():
+        return out
+    return out.select(mask)

@@ -29,6 +29,15 @@ class Pass:
     def run(self, circuit: QuditCircuit) -> QuditCircuit:
         raise NotImplementedError
 
+    def run_table(self, table):
+        """Run the pass on a columnar :class:`~repro.ir.table.GateTable`.
+
+        Passes with a table-native rewrite override this; the default
+        bridges through the object form (materialise, rewrite, re-encode),
+        so a mixed pipeline still works end to end.
+        """
+        return self.run(table.to_circuit()).to_table()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"
 
@@ -65,6 +74,20 @@ class PassPipeline:
         for step in self.passes:
             before = current.num_ops()
             current = step.run(current)
+            self.history.append(PassRecord(step.name, before, current.num_ops()))
+        return current
+
+    def run_table(self, table):
+        """Apply every pass in order on the columnar IR, staying columnar.
+
+        Table-native passes rewrite the columns directly; passes without a
+        table kernel bridge through the object form for their step only.
+        """
+        self.history = []
+        current = table
+        for step in self.passes:
+            before = current.num_ops()
+            current = step.run_table(current)
             self.history.append(PassRecord(step.name, before, current.num_ops()))
         return current
 

@@ -26,7 +26,8 @@ pass.
 
 from __future__ import annotations
 
-from typing import List
+from functools import partial
+from typing import Callable, List, Optional
 
 from repro.exceptions import SynthesisError
 from repro.passes.base import Pass
@@ -58,16 +59,42 @@ class ExpandMacros(Pass):
             if current.is_g_circuit():
                 return current.copy()
             next_circuit = QuditCircuit(current.num_wires, current.dim, name=current.name)
+            find_borrow = partial(_find_borrow, current)
             for op in current:
-                next_circuit.extend(_expand_op(op, current))
+                next_circuit.extend(_expand_op(op, current.dim, find_borrow))
             current = next_circuit
         if not current.is_g_circuit():
             raise SynthesisError("lowering did not converge to G-gates")
         return current
 
 
-def _expand_op(op: BaseOp, circuit: QuditCircuit) -> List[BaseOp]:
-    dim = circuit.dim
+#: Lazily resolves the borrowed wire for an even-``d`` two-controlled gadget;
+#: called only when an expansion rule actually needs one.
+BorrowFinder = Callable[[BaseOp], int]
+
+
+def expand_fully(
+    op: BaseOp, dim: int, find_borrow: BorrowFinder, fuel: int = 12
+) -> List[BaseOp]:
+    """Expand one operation all the way down to G-gates (depth-first).
+
+    Produces exactly the sequence the sweep-based :class:`ExpandMacros` pass
+    would: each rewrite rule is context-free given ``dim`` and the borrow
+    wire, so expanding depth-first instead of sweep-by-sweep preserves the
+    concatenation order at every level.  The table-lowering templates in
+    :mod:`repro.ir.lowering` are built from this.
+    """
+    if op.is_g_gate(dim):
+        return [op]
+    if fuel <= 0:
+        raise SynthesisError("lowering did not converge to G-gates")
+    expanded: List[BaseOp] = []
+    for child in _expand_op(op, dim, find_borrow):
+        expanded.extend(expand_fully(child, dim, find_borrow, fuel - 1))
+    return expanded
+
+
+def _expand_op(op: BaseOp, dim: int, find_borrow: Optional[BorrowFinder]) -> List[BaseOp]:
     if op.is_g_gate(dim):
         return [op]
 
@@ -102,7 +129,7 @@ def _expand_op(op: BaseOp, circuit: QuditCircuit) -> List[BaseOp]:
 
     if op.num_controls == 2:
         (c1, p1), (c2, p2) = op.controls
-        borrow = _find_borrow(circuit, op) if dim % 2 == 0 else None
+        borrow = find_borrow(op) if dim % 2 == 0 else None
         ops: List[BaseOp] = []
         for i, j in perm_utils.transpositions_of(perm):
             ops.extend(
@@ -132,13 +159,25 @@ def _expand_star(op: StarShiftOp, dim: int) -> List[BaseOp]:
     return ops
 
 
-def _find_borrow(circuit: QuditCircuit, op: BaseOp) -> int:
-    """Pick an idle wire of the circuit to borrow for an even-``d`` gadget."""
+def lowest_idle_wire(num_wires: int, op: BaseOp) -> int:
+    """The borrow-wire policy shared by both lowering engines.
+
+    Picks the lowest-index wire of an ``num_wires``-wide register not used
+    by ``op`` — the paper borrows idle control wires in exactly this way.
+    The table engine (:mod:`repro.ir.lowering`) must agree with this choice
+    for the two engines to stay gate-for-gate identical, so any policy
+    change belongs here and nowhere else.
+    """
     used = set(op.wires())
-    for wire in range(circuit.num_wires):
+    for wire in range(num_wires):
         if wire not in used:
             return wire
     raise SynthesisError(
         "no idle wire available to borrow for the even-d two-controlled gadget; "
         "add one borrowed ancilla wire to the circuit (Lemma III.1 requires it)"
     )
+
+
+def _find_borrow(circuit: QuditCircuit, op: BaseOp) -> int:
+    """Pick an idle wire of the circuit to borrow for an even-``d`` gadget."""
+    return lowest_idle_wire(circuit.num_wires, op)

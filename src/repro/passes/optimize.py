@@ -14,11 +14,18 @@ the synthesis routines and the macro expansion:
 
 All three only ever remove or merge operations, so downstream G-gate counts
 can shrink but never grow.
+
+Each pass runs in a single linear sweep: per-wire stacks (cancel) or a
+per-wire last-touch index (fuse) make "the nearest prior op sharing a wire"
+an O(1) lookup, replacing the old quadratic backward rescans.  Every pass
+also has a table-native twin (``run_table``) operating on the columnar
+:class:`~repro.ir.table.GateTable` IR via the kernels in
+:mod:`repro.ir.rewrite`; both paths are gate-for-gate identical.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -31,9 +38,12 @@ from repro.utils import permutations as perm_utils
 
 
 def _rebuild(circuit: QuditCircuit, ops: List[BaseOp]) -> QuditCircuit:
-    out = QuditCircuit(circuit.num_wires, circuit.dim, name=circuit.name)
-    out.extend(ops)
-    return out
+    # Every op comes from (or is a same-shape rewrite of an op from) the
+    # validated input circuit, so the rebuilt circuit skips re-validation
+    # instead of re-checking — and re-copying — the whole list.
+    return QuditCircuit._from_validated_ops(
+        circuit.num_wires, circuit.dim, ops, name=circuit.name
+    )
 
 
 def _gates_are_inverse(first: Gate, second: Gate) -> bool:
@@ -76,6 +86,11 @@ class DropIdentities(Pass):
         kept = [op for op in circuit if not self._is_identity(op, circuit.dim)]
         return _rebuild(circuit, kept)
 
+    def run_table(self, table):
+        from repro.ir.rewrite import drop_identities
+
+        return drop_identities(table)
+
     @staticmethod
     def _is_identity(op: BaseOp, dim: int) -> bool:
         if not isinstance(op, Operation):
@@ -92,29 +107,43 @@ class DropIdentities(Pass):
 
 
 class CancelAdjacentInverses(Pass):
-    """Remove ``U, U†`` pairs separated only by wire-disjoint operations."""
+    """Remove ``U, U†`` pairs separated only by wire-disjoint operations.
+
+    One forward sweep with per-wire stacks of surviving op indices.  The
+    nearest prior op sharing a wire with ``op`` is the largest stack top over
+    ``op``'s wires (anything later would itself top one of those stacks), and
+    when it cancels it has the same wire set, so it is popped from exactly
+    its stack tops — O(ops + wire incidences) overall, where the previous
+    backward-rescan implementation was quadratic.
+    """
 
     name = "cancel-adjacent-inverses"
 
     def run(self, circuit: QuditCircuit) -> QuditCircuit:
-        kept: List[BaseOp] = []
+        kept: List[Optional[BaseOp]] = []
+        stacks: List[List[int]] = [[] for _ in range(circuit.num_wires)]
         for op in circuit:
-            if not self._cancelled(kept, op):
-                kept.append(op)
-        return _rebuild(circuit, kept)
+            wires = op.wires()
+            prior = -1
+            for w in wires:
+                stack = stacks[w]
+                if stack and stack[-1] > prior:
+                    prior = stack[-1]
+            if prior >= 0 and _ops_cancel(kept[prior], op):
+                for w in wires:
+                    stacks[w].pop()
+                kept[prior] = None
+                continue
+            index = len(kept)
+            kept.append(op)
+            for w in wires:
+                stacks[w].append(index)
+        return _rebuild(circuit, [op for op in kept if op is not None])
 
-    @staticmethod
-    def _cancelled(kept: List[BaseOp], op: BaseOp) -> bool:
-        wires = set(op.wires())
-        for index in range(len(kept) - 1, -1, -1):
-            prior = kept[index]
-            if wires.isdisjoint(prior.wires()):
-                continue  # commutes past op: keep scanning backwards
-            if _ops_cancel(prior, op):
-                del kept[index]
-                return True
-            return False
-        return False
+    def run_table(self, table):
+        from repro.ir.rewrite import cancel_adjacent_inverses
+
+        return cancel_adjacent_inverses(table)
 
 
 class FuseSingleQuditGates(Pass):
@@ -123,33 +152,37 @@ class FuseSingleQuditGates(Pass):
     Two permutations compose into a single :class:`XPerm`; anything involving
     a dense payload composes into a single :class:`SingleQuditUnitary`.
     Intervening operations that do not touch the wire commute past the run
-    and do not block fusion.
+    and do not block fusion.  A per-wire last-touch index finds the nearest
+    prior op on the target wire in O(1), making the pass one linear sweep.
     """
 
     name = "fuse-single-qudit-gates"
 
     def run(self, circuit: QuditCircuit) -> QuditCircuit:
         kept: List[BaseOp] = []
+        last = [-1] * circuit.num_wires
         for op in circuit:
-            if not (self._fusable(op) and self._fused(kept, op)):
-                kept.append(op)
+            if self._fusable(op):
+                prior = last[op.target]
+                if prior >= 0 and self._fusable(kept[prior]):
+                    # The prior fusable op touches only this target wire, so
+                    # replacing it in place keeps the last-touch index valid.
+                    kept[prior] = Operation(_fuse_gates(kept[prior].gate, op.gate), op.target)
+                    continue
+            index = len(kept)
+            kept.append(op)
+            for w in op.wires():
+                last[w] = index
         return _rebuild(circuit, kept)
+
+    def run_table(self, table):
+        from repro.ir.rewrite import fuse_single_qudit
+
+        return fuse_single_qudit(table)
 
     @staticmethod
     def _fusable(op: BaseOp) -> bool:
         return isinstance(op, Operation) and not op.controls
-
-    @classmethod
-    def _fused(cls, kept: List[BaseOp], op: Operation) -> bool:
-        for index in range(len(kept) - 1, -1, -1):
-            prior = kept[index]
-            if op.target not in prior.wires():
-                continue  # disjoint wires: commutes past op
-            if cls._fusable(prior):
-                kept[index] = Operation(_fuse_gates(prior.gate, op.gate), op.target)
-                return True
-            return False
-        return False
 
 
 def _fuse_gates(first: Gate, second: Gate) -> Gate:

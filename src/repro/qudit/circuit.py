@@ -12,6 +12,16 @@ operations the synthesis routines and the benchmark harness need:
 * ``depth`` (greedy wire-based scheduling), wire usage queries;
 * ``remap_wires`` for embedding a sub-circuit built on local wire labels
   into a larger register.
+
+Circuits have two interchangeable storage forms.  The *object* form is the
+ordinary Python list of :class:`~repro.qudit.operations.BaseOp`; the
+*columnar* form is a :class:`~repro.ir.table.GateTable` (struct-of-arrays
+numpy columns with interned payload pools).  ``to_table()`` caches the
+columnar form, and while a cached table is live every counting, depth,
+histogram, inverse and remap query runs as a vectorized column kernel
+without touching op objects.  Table-backed circuits (e.g. the output of
+``lower_to_g_gates``) materialise op objects lazily, only when something
+actually iterates them; any mutation drops the cached table.
 """
 
 from __future__ import annotations
@@ -36,7 +46,59 @@ class QuditCircuit:
         self.num_wires = int(num_wires)
         self.dim = int(dim)
         self.name = name or "circuit"
-        self._ops: List[BaseOp] = []
+        self._ops: Optional[List[BaseOp]] = []
+        self._table = None  # cached/backing repro.ir.table.GateTable
+
+    # ------------------------------------------------------------------
+    # Columnar form
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_table(cls, table, name: Optional[str] = None) -> "QuditCircuit":
+        """A circuit backed by a :class:`~repro.ir.table.GateTable`.
+
+        Op objects are materialised lazily on first iteration; counting and
+        structure queries run on the columns directly.
+        """
+        circuit = cls(table.num_wires, table.dim, name=name or table.name)
+        circuit._ops = None
+        circuit._table = table
+        return circuit
+
+    def to_table(self):
+        """The columnar (struct-of-arrays) form of this circuit, cached.
+
+        Mutating the circuit invalidates the cache; tables themselves are
+        immutable, so sharing one across copies is safe.
+        """
+        if self._table is None:
+            from repro.ir.table import GateTable
+
+            self._table = GateTable.from_ops(
+                self._materialized(), self.num_wires, self.dim, name=self.name
+            )
+        return self._table
+
+    @property
+    def cached_table(self):
+        """The live cached :class:`~repro.ir.table.GateTable`, or ``None``."""
+        return self._table
+
+    def _materialized(self) -> List[BaseOp]:
+        if self._ops is None:
+            self._ops = self._table.to_ops()
+        return self._ops
+
+    def _invalidate_table(self) -> None:
+        self._table = None
+
+    @classmethod
+    def _from_validated_ops(
+        cls, num_wires: int, dim: int, ops: Iterable[BaseOp], name: Optional[str] = None
+    ) -> "QuditCircuit":
+        """Internal fast path: wrap ops known to satisfy this shape's invariants."""
+        circuit = cls(num_wires, dim, name=name)
+        circuit._ops = list(ops)
+        return circuit
 
     # ------------------------------------------------------------------
     # Construction
@@ -44,7 +106,8 @@ class QuditCircuit:
     def append(self, op: BaseOp) -> "QuditCircuit":
         """Append one operation (validating its wires) and return ``self``."""
         self._validate_op(op)
-        self._ops.append(op)
+        self._materialized().append(op)
+        self._invalidate_table()
         return self
 
     def extend(self, ops: Iterable[BaseOp]) -> "QuditCircuit":
@@ -56,7 +119,14 @@ class QuditCircuit:
         staged = list(ops)
         for op in staged:
             self._validate_op(op)
-        self._ops.extend(staged)
+        self._materialized().extend(staged)
+        self._invalidate_table()
+        return self
+
+    def _extend_validated(self, ops: Iterable[BaseOp]) -> "QuditCircuit":
+        """Append ops already known to be valid for this shape (no re-checks)."""
+        self._materialized().extend(ops)
+        self._invalidate_table()
         return self
 
     def add_gate(
@@ -71,25 +141,32 @@ class QuditCircuit:
     def compose(self, other: "QuditCircuit") -> "QuditCircuit":
         """Append every operation of ``other`` (same dimension required).
 
-        Like :meth:`extend`, the batch is validated up front: on failure
-        ``self`` is left exactly as it was.
+        Operations coming from a circuit were already validated against its
+        shape: with matching dimension and ``other.num_wires <= num_wires``
+        every wire and gate-dimension invariant transfers, so composition
+        skips the per-op re-validation that ``extend`` performs on raw
+        operation lists.  On failure ``self`` is left exactly as it was.
         """
         if other.dim != self.dim:
             raise DimensionError("cannot compose circuits of different qudit dimensions")
         if other.num_wires > self.num_wires:
             raise WireError("cannot compose a circuit with more wires into a smaller one")
-        return self.extend(other.ops)
+        return self._extend_validated(other._materialized())
 
     def inverse(self) -> "QuditCircuit":
         """Return a new circuit implementing the adjoint of this circuit."""
-        inv = QuditCircuit(self.num_wires, self.dim, name=f"{self.name}†")
-        for op in reversed(self._ops):
-            inv.append(op.inverse())
+        if self._table is not None:
+            return QuditCircuit.from_table(self._table.inverse(), name=f"{self.name}†")
+        inv = QuditCircuit._from_validated_ops(
+            self.num_wires, self.dim, [], name=f"{self.name}†"
+        )
+        inv._ops = [op.inverse() for op in reversed(self._materialized())]
         return inv
 
     def copy(self) -> "QuditCircuit":
         dup = QuditCircuit(self.num_wires, self.dim, name=self.name)
-        dup._ops = list(self._ops)
+        dup._ops = list(self._ops) if self._ops is not None else None
+        dup._table = self._table
         return dup
 
     def remap_wires(self, mapping: Dict[int, int], num_wires: Optional[int] = None) -> "QuditCircuit":
@@ -98,9 +175,12 @@ class QuditCircuit:
         Every wire used by the circuit must appear as a key of ``mapping``.
         ``num_wires`` defaults to ``max(mapping.values()) + 1``.
         """
+        if self._table is not None:
+            remapped = self._table.remap_wires(mapping, num_wires)
+            return QuditCircuit.from_table(remapped, name=self.name)
         target_wires = num_wires if num_wires is not None else max(mapping.values()) + 1
         remapped = QuditCircuit(target_wires, self.dim, name=self.name)
-        for op in self._ops:
+        for op in self._materialized():
             remapped.append(_remap_op(op, mapping))
         return remapped
 
@@ -109,39 +189,47 @@ class QuditCircuit:
     # ------------------------------------------------------------------
     @property
     def ops(self) -> List[BaseOp]:
-        return list(self._ops)
+        return list(self._materialized())
 
     def __len__(self) -> int:
+        if self._ops is None:
+            return len(self._table)
         return len(self._ops)
 
     def __iter__(self) -> Iterator[BaseOp]:
-        return iter(self._ops)
+        return iter(self._materialized())
 
     def __getitem__(self, index: int) -> BaseOp:
-        return self._ops[index]
+        return self._materialized()[index]
 
     @property
     def is_permutation(self) -> bool:
         """True if every operation permutes the computational basis."""
-        return all(op.is_permutation for op in self._ops)
+        if self._table is not None:
+            return self._table.is_permutation
+        return all(op.is_permutation for op in self._materialized())
 
     def used_wires(self) -> tuple:
         """Sorted tuple of wires touched by at least one operation."""
+        if self._table is not None:
+            return self._table.used_wires()
         wires = set()
-        for op in self._ops:
+        for op in self._materialized():
             wires.update(op.wires())
         return tuple(sorted(wires))
 
     def targeted_wires(self) -> tuple:
         """Sorted tuple of wires that appear as a target of some operation."""
-        return tuple(sorted({op.target for op in self._ops}))
+        if self._table is not None:
+            return self._table.targeted_wires()
+        return tuple(sorted({op.target for op in self._materialized()}))
 
     def count(self, predicate: Callable[[BaseOp], bool]) -> int:
         """Count operations satisfying an arbitrary predicate."""
-        return sum(1 for op in self._ops if predicate(op))
+        return sum(1 for op in self._materialized() if predicate(op))
 
     def num_ops(self) -> int:
-        return len(self._ops)
+        return len(self)
 
     def two_qudit_count(self) -> int:
         """Number of operations that touch exactly two wires.
@@ -149,13 +237,19 @@ class QuditCircuit:
         This is the paper's "two-qudit gate" metric once the circuit has
         been lowered so that no operation spans more than two wires.
         """
+        if self._table is not None:
+            return self._table.two_qudit_count()
         return self.count(lambda op: op.span() == 2)
 
     def multi_qudit_count(self) -> int:
         """Number of operations that touch three or more wires (macros)."""
+        if self._table is not None:
+            return self._table.multi_qudit_count()
         return self.count(lambda op: op.span() >= 3)
 
     def single_qudit_count(self) -> int:
+        if self._table is not None:
+            return self._table.single_qudit_count()
         return self.count(lambda op: op.span() == 1)
 
     def g_gate_count(self) -> int:
@@ -164,20 +258,36 @@ class QuditCircuit:
         Meaningful after lowering with :func:`repro.core.lowering.lower_to_g_gates`;
         before lowering macros are simply not counted.
         """
+        if self._table is not None:
+            return self._table.g_gate_count()
         return self.count(lambda op: op.is_g_gate(self.dim))
+
+    def controlled_g_gate_count(self) -> int:
+        """Number of G-gates that carry their single ``|0⟩`` control."""
+        if self._table is not None:
+            return self._table.controlled_g_gate_count()
+        return self.count(
+            lambda op: getattr(op, "num_controls", 0) == 1 and op.is_g_gate(self.dim)
+        )
 
     def is_g_circuit(self) -> bool:
         """True if every operation is a G-gate."""
-        return all(op.is_g_gate(self.dim) for op in self._ops)
+        if self._table is not None:
+            return self._table.is_g_circuit()
+        return all(op.is_g_gate(self.dim) for op in self._materialized())
 
     def max_span(self) -> int:
         """Largest number of wires any single operation touches (0 if empty)."""
-        return max((op.span() for op in self._ops), default=0)
+        if self._table is not None:
+            return self._table.max_span()
+        return max((op.span() for op in self._materialized()), default=0)
 
     def label_histogram(self) -> Counter:
         """Histogram of operations keyed by a readable label."""
+        if self._table is not None:
+            return self._table.label_histogram()
         histogram: Counter = Counter()
-        for op in self._ops:
+        for op in self._materialized():
             if isinstance(op, StarShiftOp):
                 key = "X+⋆" if op.sign > 0 else "X-⋆"
             else:
@@ -188,8 +298,10 @@ class QuditCircuit:
 
     def depth(self) -> int:
         """Circuit depth under greedy as-soon-as-possible scheduling."""
+        if self._table is not None:
+            return self._table.depth()
         frontier = [0] * self.num_wires
-        for op in self._ops:
+        for op in self._materialized():
             level = max(frontier[w] for w in op.wires()) + 1
             for w in op.wires():
                 frontier[w] = level
@@ -198,7 +310,7 @@ class QuditCircuit:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"QuditCircuit(name={self.name!r}, wires={self.num_wires}, "
-            f"dim={self.dim}, ops={len(self._ops)})"
+            f"dim={self.dim}, ops={len(self)})"
         )
 
     # ------------------------------------------------------------------

@@ -57,9 +57,44 @@ class SimulationBackend:
         raise GateError(f"backend {self.name!r} cannot simulate operation {op!r}")
 
     def apply_circuit(self, data: np.ndarray, circuit: QuditCircuit) -> np.ndarray:
-        """Apply every operation of ``circuit`` and return the evolved array."""
+        """Apply every operation of ``circuit`` and return the evolved array.
+
+        Circuits with a live columnar table (e.g. the output of
+        ``lower_to_g_gates``) take the :meth:`apply_table` fast path, which
+        never materialises per-op Python objects.
+        """
+        table = getattr(circuit, "cached_table", None)
+        if table is not None:
+            return self.apply_table(data, table)
         for op in circuit:
             data = self.apply_op(data, op, circuit.dim, circuit.num_wires)
+        return data
+
+    def apply_table(self, data: np.ndarray, table) -> np.ndarray:
+        """Apply a columnar :class:`~repro.ir.table.GateTable` to ``data``.
+
+        Iterates the columns through the table's distinct-row index: one
+        gather table is built (or fetched from the shared cache) per
+        *distinct* gate form, then reused for every repeated row — no
+        per-op re-hashing.  Dense-unitary rows fall back to the engine's
+        own ``_apply_unitary``.
+        """
+        dim, num_wires = table.dim, table.num_wires
+        ops, inverse = table.unique_ops()
+        gathers = []
+        for op in ops:
+            if op.is_permutation:
+                gathers.append(op.permutation_table(dim, num_wires))
+            else:
+                gathers.append(None)
+        for u in inverse.tolist():
+            gather = gathers[u]
+            if gather is None:
+                data = self._apply_unitary(data, ops[u], dim, num_wires)
+            else:
+                out = np.empty_like(data)
+                out[gather] = data
+                data = out
         return data
 
     def _apply_permutation(self, data, op, dim, num_wires) -> np.ndarray:

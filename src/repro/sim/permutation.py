@@ -51,6 +51,11 @@ def permutation_index_table(circuit: QuditCircuit) -> np.ndarray:
     composing the cached per-operation gather tables — fully vectorized.
     Only feasible for small systems (``dim ** num_wires`` entries).
     """
+    cached = getattr(circuit, "cached_table", None)
+    if cached is not None:
+        # Columnar fast path: compose one gather per *distinct* row without
+        # materialising op objects.
+        return cached.permutation_index_table()
     if not circuit.is_permutation:
         raise GateError("circuit contains non-permutation gates; use the statevector simulator")
     table = np.arange(circuit.dim**circuit.num_wires)

@@ -108,9 +108,7 @@ class Statevector:
                 raise WireError(f"out= must be a Statevector, got {target!r}")
             if target.num_wires != self.num_wires or target.dim != self.dim:
                 raise WireError("out= statevector shape does not match")
-        data = self.data
-        for op in circuit:
-            data = engine.apply_op(data, op, self.dim, self.num_wires)
+        data = engine.apply_circuit(self.data, circuit)
         if target is not self and data is self.data:
             data = data.copy()  # empty circuit: never alias the buffers
         target.data = data

@@ -1,0 +1,384 @@
+"""Columnar IR tests: round-tripping, column kernels, table-native passes.
+
+The contract under test is *lossless equivalence*: ``to_table().to_circuit()``
+preserves op identity gate-for-gate, every column kernel agrees with the
+object-level implementation it replaces, and the table lowering engine is
+gate-for-gate identical to the object pipeline.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import lower_to_g_gates, synthesize_mct
+from repro.exceptions import DimensionError, WireError
+from repro.ir import (
+    GateTable,
+    cancel_adjacent_inverses,
+    drop_identities,
+    fuse_single_qudit,
+    lower_circuit_to_table,
+)
+from repro.passes import (
+    CancelAdjacentInverses,
+    DropIdentities,
+    FuseSingleQuditGates,
+    PassPipeline,
+)
+from repro.qudit.circuit import QuditCircuit
+from repro.qudit.controls import EvenNonZero, InSet, Odd, Value
+from repro.qudit.gates import SingleQuditUnitary, XPerm, XPlus
+from repro.qudit.operations import Operation, StarShiftOp
+from repro.sim import Statevector, available_backends, get_backend, permutation_index_table
+from repro.core.multi_controlled_unitary import random_unitary_gate
+
+
+# ----------------------------------------------------------------------
+# Randomized circuit generator (property-style)
+# ----------------------------------------------------------------------
+def _random_predicate(rng, dim):
+    roll = rng.randrange(4)
+    if roll == 0:
+        return Value(rng.randrange(dim))
+    if roll == 1:
+        return Odd()
+    if roll == 2:
+        return EvenNonZero()
+    size = rng.randrange(1, dim)
+    return InSet(frozenset(rng.sample(range(dim), size)))
+
+
+def _random_gate(rng, dim, allow_unitary):
+    roll = rng.randrange(4 if allow_unitary else 3)
+    if roll == 0:
+        i, j = rng.sample(range(dim), 2)
+        return XPerm.transposition(dim, i, j)
+    if roll == 1:
+        return XPlus(dim, rng.randrange(dim))
+    if roll == 2:
+        perm = list(range(dim))
+        rng.shuffle(perm)
+        return XPerm(tuple(perm))
+    return random_unitary_gate(dim, seed=rng.randrange(10_000))
+
+
+def random_circuit(seed, num_wires=5, dim=3, num_ops=40, *, allow_unitary=True):
+    """Mixed XPerm/XPlus/unitary/star ops with 0..3 random-predicate controls."""
+    rng = random.Random(seed)
+    circuit = QuditCircuit(num_wires, dim, name=f"random-{seed}")
+    for _ in range(num_ops):
+        wires = rng.sample(range(num_wires), rng.randrange(2, min(5, num_wires) + 1))
+        target, rest = wires[0], wires[1:]
+        if rng.random() < 0.25 and rest:
+            star, controls = rest[0], rest[1:]
+            op = StarShiftOp(
+                star,
+                target,
+                rng.choice([1, -1]),
+                [(w, _random_predicate(rng, dim)) for w in controls],
+            )
+        else:
+            op = Operation(
+                _random_gate(rng, dim, allow_unitary),
+                target,
+                [(w, _random_predicate(rng, dim)) for w in rest],
+            )
+        circuit.append(op)
+    return circuit
+
+
+def assert_ops_identical(first, second):
+    """Gate-for-gate op identity: type, wires, controls, payload, label."""
+    assert len(first) == len(second)
+    for i, (a, b) in enumerate(zip(first.ops, second.ops)):
+        assert type(a) is type(b), f"op {i}: {type(a)} vs {type(b)}"
+        assert a.target == b.target, f"op {i}"
+        assert a.controls == b.controls, f"op {i}"
+        if isinstance(a, StarShiftOp):
+            assert (a.star_wire, a.sign) == (b.star_wire, b.sign), f"op {i}"
+        else:
+            assert a.gate == b.gate, f"op {i}"
+            assert a.gate.label == b.gate.label, f"op {i}"
+
+
+# ----------------------------------------------------------------------
+# Round-tripping
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(8))
+def test_round_trip_preserves_ops_and_counts(seed):
+    circuit = random_circuit(seed, num_wires=5, dim=3 + seed % 3)
+    table = circuit.to_table()
+    back = table.to_circuit()
+    assert_ops_identical(circuit, back)
+    assert back.num_ops() == circuit.num_ops()
+    assert back.depth() == circuit.depth()
+    assert back.two_qudit_count() == circuit.two_qudit_count()
+    assert back.single_qudit_count() == circuit.single_qudit_count()
+    assert back.multi_qudit_count() == circuit.multi_qudit_count()
+    assert back.g_gate_count() == circuit.g_gate_count()
+    assert back.label_histogram() == circuit.label_histogram()
+    assert back.used_wires() == circuit.used_wires()
+    assert back.targeted_wires() == circuit.targeted_wires()
+    assert back.max_span() == circuit.max_span()
+    assert back.is_permutation == circuit.is_permutation
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_round_trip_preserves_simulation_on_both_backends(seed):
+    circuit = random_circuit(seed, num_wires=4, dim=3, num_ops=25)
+    table_backed = circuit.to_table().to_circuit()
+    rng = np.random.default_rng(seed)
+    size = circuit.dim**circuit.num_wires
+    data = rng.normal(size=size) + 1j * rng.normal(size=size)
+    data /= np.linalg.norm(data)
+    for backend in available_backends():
+        expected = Statevector(circuit.num_wires, circuit.dim, data, backend=backend)
+        # Per-op object path on a table-free copy of the same op list.
+        plain = QuditCircuit(circuit.num_wires, circuit.dim).extend(circuit.ops)
+        assert plain.cached_table is None
+        expected.apply_circuit(plain)
+        actual = Statevector(circuit.num_wires, circuit.dim, data, backend=backend)
+        actual.apply_circuit(table_backed)
+        np.testing.assert_allclose(actual.data, expected.data, atol=1e-10)
+
+
+def test_permutation_circuit_index_table_matches_object_path():
+    circuit = random_circuit(11, num_wires=4, dim=3, allow_unitary=False)
+    assert circuit.is_permutation
+    object_path = permutation_index_table(
+        QuditCircuit(circuit.num_wires, circuit.dim).extend(circuit.ops)
+    )
+    table_path = circuit.to_table().permutation_index_table()
+    np.testing.assert_array_equal(object_path, table_path)
+
+
+def test_g_gate_mask_requires_xperm_class():
+    # XPlus(2, 1) permutes like the transposition (0 1) but is not an XPerm,
+    # so Operation.is_g_gate rejects it; the column kernel must agree.
+    circuit = QuditCircuit(2, 2)
+    circuit.append(Operation(XPlus(2, 1), 0))
+    circuit.append(Operation(XPerm.transposition(2, 0, 1), 1))
+    object_count = circuit.count(lambda op: op.is_g_gate(circuit.dim))
+    table = circuit.to_table()
+    assert table.g_gate_count() == object_count == 1
+    assert not table.is_g_circuit()
+    assert table.controlled_g_gate_count() == 0
+
+
+def test_payload_interning_shares_entries():
+    dim = 3
+    circuit = QuditCircuit(3, dim)
+    for _ in range(50):
+        circuit.add_gate(XPerm.transposition(dim, 0, 1), 0)
+        circuit.add_gate(XPerm.transposition(dim, 0, 1), 1, [(0, Value(0))])
+    table = circuit.to_table()
+    assert len(table) == 100
+    assert len(table.pools.perms) == 1  # one interned payload for all 100 rows
+    assert len(table.pools.preds) == 1
+    ops = table.to_ops()
+    assert ops[0] is ops[2]  # structurally equal rows share one instance
+
+
+# ----------------------------------------------------------------------
+# Column kernels vs object implementations
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [3, 7])
+def test_table_inverse_matches_object_inverse(seed):
+    circuit = random_circuit(seed, num_wires=4, dim=4)
+    table_inverse = circuit.to_table().inverse().to_circuit()
+    plain = QuditCircuit(circuit.num_wires, circuit.dim).extend(circuit.ops)
+    assert_ops_identical(plain.inverse(), table_inverse)
+
+
+def test_table_backed_inverse_round_trips_simulation():
+    circuit = random_circuit(5, num_wires=4, dim=3, allow_unitary=False)
+    lowered_style = circuit.to_table().to_circuit()
+    composed = circuit.copy().compose(lowered_style.inverse())
+    table = composed.to_table()
+    np.testing.assert_array_equal(
+        table.permutation_index_table(), np.arange(circuit.dim**circuit.num_wires)
+    )
+
+
+@pytest.mark.parametrize("seed", [2, 9])
+def test_table_remap_matches_object_remap(seed):
+    circuit = random_circuit(seed, num_wires=4, dim=3)
+    mapping = {0: 2, 1: 5, 2: 0, 3: 3}
+    plain = QuditCircuit(circuit.num_wires, circuit.dim).extend(circuit.ops)
+    expected = plain.remap_wires(mapping, num_wires=6)
+    actual = circuit.to_table().remap_wires(mapping, num_wires=6).to_circuit()
+    assert actual.num_wires == expected.num_wires == 6
+    assert_ops_identical(expected, actual)
+
+
+def test_table_remap_missing_wire_raises():
+    circuit = random_circuit(1, num_wires=4, dim=3)
+    with pytest.raises(WireError):
+        circuit.to_table().remap_wires({0: 0})
+
+
+# ----------------------------------------------------------------------
+# Table-native passes == object passes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(6))
+def test_table_passes_match_object_passes(seed):
+    circuit = random_circuit(seed, num_wires=5, dim=3 + seed % 2, num_ops=60)
+    # Seed some guaranteed cancellations/identities/fusions into the stream.
+    rng = random.Random(1000 + seed)
+    ops = circuit.ops
+    for op in list(ops[: len(ops) // 2]):
+        if rng.random() < 0.5:
+            ops.insert(rng.randrange(len(ops)), XPerm.identity(circuit.dim))  # type: ignore[arg-type]
+    ops = [
+        op if not isinstance(op, XPerm) else Operation(op, rng.randrange(circuit.num_wires))
+        for op in ops
+    ]
+    seeded = QuditCircuit(circuit.num_wires, circuit.dim).extend(ops)
+    inverse_tail = seeded.inverse()
+    full = seeded.copy().compose(inverse_tail)  # guarantees a cascade of cancellations
+
+    for object_pass, kernel in [
+        (DropIdentities(), drop_identities),
+        (CancelAdjacentInverses(), cancel_adjacent_inverses),
+        (FuseSingleQuditGates(), fuse_single_qudit),
+    ]:
+        expected = object_pass.run(full)
+        actual = kernel(full.to_table()).to_circuit()
+        assert_ops_identical(expected, actual)
+        via_run_table = object_pass.run_table(full.to_table()).to_circuit()
+        assert_ops_identical(expected, via_run_table)
+
+
+def test_pipeline_run_table_stays_columnar():
+    circuit = random_circuit(4, num_wires=4, dim=3, num_ops=30)
+    pipeline = PassPipeline(
+        [DropIdentities(), CancelAdjacentInverses(), FuseSingleQuditGates()], name="peephole"
+    )
+    expected = pipeline.run(circuit)
+    records_object = list(pipeline.history)
+    actual = pipeline.run_table(circuit.to_table())
+    assert isinstance(actual, GateTable)
+    assert [(r.pass_name, r.ops_before, r.ops_after) for r in pipeline.history] == [
+        (r.pass_name, r.ops_before, r.ops_after) for r in records_object
+    ]
+    assert_ops_identical(expected, actual.to_circuit())
+
+
+# ----------------------------------------------------------------------
+# Lowering engines
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("dim,k", [(3, 3), (4, 3), (5, 2), (6, 2)])
+def test_lowering_engines_gate_for_gate_identical(dim, k):
+    result = synthesize_mct(dim, k)
+    object_path = lower_to_g_gates(result.circuit, engine="object")
+    table_path = lower_to_g_gates(result.circuit, engine="table")
+    assert table_path.cached_table is not None
+    assert table_path.is_g_circuit()
+    assert_ops_identical(object_path, table_path)
+    assert object_path.g_gate_count() == table_path.g_gate_count()
+    assert object_path.depth() == table_path.depth()
+    np.testing.assert_array_equal(
+        permutation_index_table(object_path), permutation_index_table(table_path)
+    )
+
+
+def test_lower_circuit_to_table_counts_without_materialising():
+    result = synthesize_mct(3, 4)
+    table = lower_circuit_to_table(result.circuit)
+    lowered = lower_to_g_gates(result.circuit, engine="object")
+    assert table.num_ops() == lowered.num_ops()
+    assert table.g_gate_count() == lowered.g_gate_count()
+    assert table.two_qudit_count() == lowered.two_qudit_count()
+    assert table.depth() == lowered.depth()
+    assert table.is_g_circuit()
+
+
+def test_unknown_lowering_engine_rejected():
+    from repro.exceptions import SynthesisError
+
+    with pytest.raises(SynthesisError):
+        lower_to_g_gates(QuditCircuit(2, 3), engine="warp")
+
+
+# ----------------------------------------------------------------------
+# Simulation fast path
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["dense", "tensor"])
+def test_apply_table_matches_per_op_application(backend):
+    circuit = random_circuit(6, num_wires=4, dim=3, num_ops=30)
+    engine = get_backend(backend)
+    rng = np.random.default_rng(6)
+    size = circuit.dim**circuit.num_wires
+    data = rng.normal(size=size) + 1j * rng.normal(size=size)
+    expected = data.copy()
+    for op in circuit:
+        expected = engine.apply_op(expected, op, circuit.dim, circuit.num_wires)
+    actual = engine.apply_table(data.copy(), circuit.to_table())
+    np.testing.assert_allclose(actual, expected, atol=1e-10)
+
+
+def test_statevector_uses_table_fast_path_for_lowered_circuits():
+    result = synthesize_mct(3, 3)
+    lowered = lower_to_g_gates(result.circuit)
+    assert lowered.cached_table is not None
+    state = Statevector.uniform(lowered.num_wires, 3)
+    reference = Statevector.uniform(lowered.num_wires, 3)
+    state.apply_circuit(lowered)
+    for op in lowered.ops:
+        reference.apply_op(op)
+    np.testing.assert_allclose(state.data, reference.data, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Circuit integration: laziness, invalidation, compose fast path
+# ----------------------------------------------------------------------
+def test_mutation_invalidates_cached_table():
+    circuit = random_circuit(8, num_wires=3, dim=3, num_ops=10)
+    table = circuit.to_table()
+    assert circuit.cached_table is table
+    circuit.add_gate(XPerm.transposition(3, 0, 2), 1)
+    assert circuit.cached_table is None
+    assert circuit.to_table().num_ops() == 11
+
+
+def test_compose_skips_revalidation_but_checks_shape():
+    small = QuditCircuit(2, 3).add_gate(XPerm.transposition(3, 0, 1), 1, [(0, Value(0))])
+    host = QuditCircuit(4, 3)
+    host.compose(small)
+    assert host.num_ops() == 1
+    with pytest.raises(DimensionError):
+        host.compose(QuditCircuit(2, 4).add_gate(XPerm.transposition(4, 0, 1), 0))
+    with pytest.raises(WireError):
+        small.compose(host)
+
+
+def test_extend_still_validates_raw_ops():
+    circuit = QuditCircuit(2, 3)
+    good = Operation(XPerm.transposition(3, 0, 1), 0)
+    bad = Operation(XPerm.transposition(3, 0, 1), 5)
+    with pytest.raises(WireError):
+        circuit.extend([good, bad])
+    assert circuit.num_ops() == 0  # atomicity preserved
+
+
+def test_table_backed_circuit_materialises_lazily():
+    result = synthesize_mct(3, 3)
+    lowered = lower_to_g_gates(result.circuit)
+    assert lowered._ops is None  # counting queries must not materialise
+    lowered.g_gate_count(), lowered.depth(), lowered.two_qudit_count()
+    assert lowered._ops is None
+    _ = lowered.ops  # iteration materialises on demand
+    assert lowered._ops is not None
+
+
+# ----------------------------------------------------------------------
+# CLI smoke
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("flags", [[], ["--no-table"], ["--backend", "tensor"]])
+def test_cli_simulate_smoke(flags, capsys):
+    from repro.__main__ import main
+
+    assert main(["simulate", "mct", "3", "3", "--state", "0,0,0,1"] + flags) == 0
+    out = capsys.readouterr().out
+    assert "0001" in out and "0000" in out  # |0,0,0,1> -> |0,0,0,0>
