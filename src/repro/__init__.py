@@ -95,6 +95,7 @@ from repro.passes import (
 )
 from repro import sim as verify
 from repro import synth
+from repro import fuzz
 from repro.ir import GateTable
 from repro.resources.estimator import Resources, estimate
 
@@ -131,6 +132,7 @@ __all__ = [
     "draw",
     "verify",
     "synth",
+    "fuzz",
     "GateTable",
     "Resources",
     "estimate",

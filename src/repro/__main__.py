@@ -13,6 +13,10 @@ Quick scenario exploration over the synthesis registry:
   — build, lower and actually run a circuit on a chosen basis state through
   a simulation backend; ``--table`` (default) lowers through the columnar
   ``GateTable`` fast path, ``--no-table`` through the object pipeline.
+* ``python -m repro fuzz --time-budget 20 --seed 0 --json`` — differential
+  fuzzing: seeded random circuits, synthesis instances and pass pipelines
+  through every redundant engine pair (see :mod:`repro.fuzz`); exits
+  non-zero on any divergence, with failures shrunk to minimal reproducers.
 """
 
 from __future__ import annotations
@@ -195,6 +199,56 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import ORACLE_NAMES, fuzz_run
+
+    if args.time_budget is None and args.max_cases is None:
+        args.time_budget = 10.0
+    report = fuzz_run(
+        seed=args.seed,
+        time_budget=args.time_budget,
+        max_cases=args.max_cases,
+        oracles=args.oracle or None,
+        shrink=args.shrink,
+    )
+    payload = report.to_json()
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, ensure_ascii=False)
+    if args.json:
+        print(json.dumps(payload, indent=2, ensure_ascii=False))
+    else:
+        rows = [
+            {"oracle": name, "runs": payload["oracle_runs"].get(name, 0)}
+            for name in ORACLE_NAMES
+            if payload["oracle_runs"].get(name)
+        ]
+        title = (
+            f"Differential fuzz: seed={report.seed}, cases={report.cases}, "
+            f"{report.elapsed_seconds:.1f}s, "
+            f"{'OK' if report.ok else f'{len(report.divergences)} DIVERGENCES'}"
+        )
+        print(render_table(rows, title=title))
+        for divergence in report.divergences:
+            print(f"\nDIVERGENCE [{divergence.oracle}] case_seed={divergence.case_seed}")
+            print(f"  {divergence.message}")
+            if divergence.circuit is not None:
+                print(
+                    f"  shrunk reproducer ({divergence.circuit.num_ops()} ops, "
+                    f"{divergence.circuit.num_wires} wires, d={divergence.circuit.dim}):"
+                )
+                for op in divergence.circuit.ops:
+                    print(f"    {op!r}")
+            if divergence.instance is not None:
+                print(f"  shrunk instance: {divergence.instance.describe()}")
+        if not report.ok:
+            print(
+                "\nreproduce with: python -m repro fuzz --seed <case_seed> --max-cases 1",
+                file=sys.stderr,
+            )
+    return 0 if report.ok else 1
+
+
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
@@ -245,6 +299,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sim.add_argument("--json", action="store_true", help="emit JSON")
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing across every redundant engine pair"
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0, help="base seed (case i uses seed+i)")
+    p_fuzz.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds (default 10 when --max-cases is unset)",
+    )
+    p_fuzz.add_argument(
+        "--max-cases", type=int, default=None, help="stop after this many cases"
+    )
+    p_fuzz.add_argument(
+        "--oracle",
+        action="append",
+        help="restrict to one oracle (repeatable); default: all oracles",
+    )
+    p_fuzz.add_argument(
+        "--shrink",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="minimise failing artifacts before reporting (--no-shrink to skip)",
+    )
+    p_fuzz.add_argument("--report", help="also write the JSON report to this path")
+    p_fuzz.add_argument("--json", action="store_true", help="emit JSON on stdout")
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     for p in (p_est, p_syn, p_sim):
         p.add_argument("--max-clean", type=int, default=None, help="ancilla budget: clean")

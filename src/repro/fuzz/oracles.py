@@ -1,0 +1,568 @@
+"""Differential oracles: run one artifact through every redundant path.
+
+The repo deliberately carries redundant implementations of the same
+semantics — object vs. columnar lowering engines, object vs. table pass
+kernels, dense vs. tensor vs. whole-basis-gather simulation, analytic
+estimation vs. materialised counting, circuits vs. their ``GateTable``
+twins.  Each oracle here runs one generated artifact through two or more of
+those paths and reports the first divergence as a human-readable message
+(``None`` means every path agreed).
+
+Oracles
+-------
+``round-trip``
+    ``to_table()``/``to_circuit()`` is lossless: op identity gate-for-gate,
+    and every column kernel (counts, depth, histogram, wires, inverse)
+    agrees with the object implementation.
+``backends``
+    dense vs. tensor statevector evolution, per-op vs. ``apply_table``, and
+    (for permutation circuits) the whole-basis gather table vs. the scalar
+    ``apply_to_basis`` path.
+``inverse``
+    metamorphic check: ``circuit ∘ circuit.inverse()`` is the identity.
+``passes``
+    a random peephole pipeline run via ``Pass.run`` vs. ``run_table`` gives
+    identical ops, identical history records, and preserves semantics.
+``lowering``
+    ``lower_to_g_gates(engine="object")`` vs. ``engine="table"``: both
+    accept or both reject; on acceptance the outputs are gate-for-gate
+    identical G-circuits implementing the input's permutation.
+``estimator``
+    analytic ``strategy.estimate(d, k)`` (exact strategies only) vs. the
+    materialised-and-lowered ``count_gates`` metrics, wires and ancillas.
+``synth-spec``
+    refinement check: the synthesised circuit satisfies the strategy's own
+    semantic specification (``strategy.verify``).
+
+The module also hosts the fuzz driver (:func:`fuzz_run`): seeded case
+generation, oracle dispatch, failure shrinking via :mod:`repro.fuzz.shrink`
+and the JSON-able :class:`FuzzReport` the CLI and CI consume.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.gate_counts import count_gates
+from repro.core.lowering import lower_to_g_gates
+from repro.exceptions import EstimationError, SynthesisError, VerificationError
+from repro.passes import PassPipeline
+from repro.qudit.circuit import QuditCircuit
+from repro.qudit.operations import Operation, StarShiftOp
+from repro.resources.estimator import METRIC_FIELDS
+from repro.sim import get_backend
+from repro.sim.permutation import apply_to_basis, permutation_index_table
+from repro.utils.indexing import indices_to_digits
+from repro.fuzz.generators import (
+    SynthesisInstance,
+    enrich_for_passes,
+    random_circuit,
+    random_circuit_scenario,
+    random_pipeline,
+    random_synthesis_instance,
+    sample_basis_states,
+)
+
+#: Registry of oracle names (the CLI's ``--oracle`` accepts any subset).
+ORACLE_NAMES: Tuple[str, ...] = (
+    "round-trip",
+    "backends",
+    "inverse",
+    "passes",
+    "lowering",
+    "estimator",
+    "synth-spec",
+)
+
+#: Largest basis a synthesis-instance semantic check will enumerate.
+_SPEC_BASIS_LIMIT = 30_000
+
+#: Tighter cap for dense-unitary verifies, which build a basis² matrix.
+_SPEC_UNITARY_LIMIT = 1_024
+
+
+# ----------------------------------------------------------------------
+# Op-level comparison shared by several oracles
+# ----------------------------------------------------------------------
+def describe_op_difference(first: QuditCircuit, second: QuditCircuit) -> Optional[str]:
+    """First gate-for-gate difference between two circuits, or ``None``."""
+    if len(first) != len(second):
+        return f"op count differs: {len(first)} vs {len(second)}"
+    for i, (a, b) in enumerate(zip(first.ops, second.ops)):
+        if type(a) is not type(b):
+            return f"op {i}: type {type(a).__name__} vs {type(b).__name__}"
+        if a.target != b.target:
+            return f"op {i}: target {a.target} vs {b.target}"
+        if a.controls != b.controls:
+            return f"op {i}: controls {a.controls} vs {b.controls}"
+        if isinstance(a, StarShiftOp):
+            if (a.star_wire, a.sign) != (b.star_wire, b.sign):
+                return f"op {i}: star ({a.star_wire}, {a.sign}) vs ({b.star_wire}, {b.sign})"
+        elif isinstance(a, Operation):
+            if a.gate != b.gate:
+                return f"op {i}: gate {a.gate.label} vs {b.gate.label}"
+    return None
+
+
+def _plain_copy(circuit: QuditCircuit) -> QuditCircuit:
+    """The same op list with no cached table — forces the object paths."""
+    return QuditCircuit(circuit.num_wires, circuit.dim, name=circuit.name).extend(circuit.ops)
+
+
+# ----------------------------------------------------------------------
+# Circuit oracles
+# ----------------------------------------------------------------------
+def check_table_round_trip(circuit: QuditCircuit) -> Optional[str]:
+    """``to_table().to_circuit()`` is lossless and kernels match object code."""
+    plain = _plain_copy(circuit)
+    table = circuit.to_table()
+    back = table.to_circuit()
+    difference = describe_op_difference(plain, back)
+    if difference:
+        return f"round-trip changed ops: {difference}"
+    queries: Sequence[Tuple[str, Callable[[QuditCircuit], object]]] = (
+        ("num_ops", lambda c: c.num_ops()),
+        ("depth", lambda c: c.depth()),
+        ("two_qudit_count", lambda c: c.two_qudit_count()),
+        ("single_qudit_count", lambda c: c.single_qudit_count()),
+        ("multi_qudit_count", lambda c: c.multi_qudit_count()),
+        ("g_gate_count", lambda c: c.g_gate_count()),
+        ("controlled_g_gate_count", lambda c: c.controlled_g_gate_count()),
+        ("max_span", lambda c: c.max_span()),
+        ("used_wires", lambda c: c.used_wires()),
+        ("targeted_wires", lambda c: c.targeted_wires()),
+        ("label_histogram", lambda c: c.label_histogram()),
+        ("is_permutation", lambda c: c.is_permutation),
+        ("is_g_circuit", lambda c: c.is_g_circuit()),
+    )
+    for name, query in queries:
+        object_value = query(plain)
+        table_value = query(back)
+        if object_value != table_value:
+            return f"column kernel {name}: object {object_value!r} vs table {table_value!r}"
+    inverse_difference = describe_op_difference(
+        _plain_copy(circuit).inverse(), table.inverse().to_circuit()
+    )
+    if inverse_difference:
+        return f"inverse kernel: {inverse_difference}"
+    return None
+
+
+def _random_state(dim: int, num_wires: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    size = dim**num_wires
+    data = rng.normal(size=size) + 1j * rng.normal(size=size)
+    return data / np.linalg.norm(data)
+
+
+def check_backends(circuit: QuditCircuit, state_seed: int) -> Optional[str]:
+    """Every simulation path agrees on a random state (and on basis states)."""
+    data = _random_state(circuit.dim, circuit.num_wires, state_seed)
+    plain = _plain_copy(circuit)
+    dense = get_backend("dense")
+    reference = data.copy()
+    for op in plain:
+        reference = dense.apply_op(reference, op, circuit.dim, circuit.num_wires)
+    table = circuit.to_table()
+    paths: Sequence[Tuple[str, Callable[[], np.ndarray]]] = (
+        ("tensor per-op", lambda: get_backend("tensor").apply_circuit(data.copy(), plain)),
+        ("dense apply_table", lambda: dense.apply_table(data.copy(), table)),
+        ("tensor apply_table", lambda: get_backend("tensor").apply_table(data.copy(), table)),
+    )
+    for name, evolve in paths:
+        evolved = evolve()
+        if not np.allclose(evolved, reference, atol=1e-9):
+            deviation = float(np.max(np.abs(evolved - reference)))
+            return f"{name} deviates from dense per-op by {deviation:.3e}"
+    if not circuit.is_permutation:
+        return None
+    object_table = permutation_index_table(plain)
+    columnar_table = table.permutation_index_table()
+    if not np.array_equal(object_table, columnar_table):
+        first = int(np.nonzero(object_table != columnar_table)[0][0])
+        return (
+            f"permutation gather tables differ at flat index {first}: "
+            f"object {int(object_table[first])} vs table {int(columnar_table[first])}"
+        )
+    images = indices_to_digits(object_table, circuit.dim, circuit.num_wires)
+    for state in sample_basis_states(circuit.dim, circuit.num_wires, 4, state_seed):
+        flat = 0
+        for digit in state:
+            flat = flat * circuit.dim + digit
+        scalar = apply_to_basis(plain, state)
+        gathered = tuple(int(x) for x in images[flat])
+        if scalar != gathered:
+            return (
+                f"apply_to_basis maps {state} to {scalar} but the gather table "
+                f"gives {gathered}"
+            )
+    return None
+
+
+def check_inverse_identity(circuit: QuditCircuit, state_seed: int) -> Optional[str]:
+    """Metamorphic: applying the circuit then its inverse is the identity."""
+    composed = _plain_copy(circuit).compose(circuit.inverse())
+    if circuit.is_permutation:
+        table = permutation_index_table(composed)
+        if not np.array_equal(table, np.arange(table.size)):
+            offender = int(np.nonzero(table != np.arange(table.size))[0][0])
+            return (
+                f"circuit∘inverse moves basis state {offender} to {int(table[offender])}"
+            )
+        return None
+    data = _random_state(circuit.dim, circuit.num_wires, state_seed)
+    evolved = get_backend("dense").apply_circuit(data.copy(), composed)
+    if not np.allclose(evolved, data, atol=1e-8):
+        deviation = float(np.max(np.abs(evolved - data)))
+        return f"circuit∘inverse deviates from identity by {deviation:.3e}"
+    return None
+
+
+def check_pass_equivalence(circuit: QuditCircuit, pipeline: PassPipeline) -> Optional[str]:
+    """``Pass.run`` vs ``run_table``: identical output, records, semantics."""
+    plain = _plain_copy(circuit)
+    expected = pipeline.run(plain)
+    object_history = [(r.pass_name, r.ops_before, r.ops_after) for r in pipeline.history]
+    actual_table = pipeline.run_table(circuit.to_table())
+    table_history = [(r.pass_name, r.ops_before, r.ops_after) for r in pipeline.history]
+    if object_history != table_history:
+        return f"pipeline records differ: object {object_history} vs table {table_history}"
+    difference = describe_op_difference(expected, actual_table.to_circuit())
+    if difference:
+        return f"object vs table pass output: {difference}"
+    if expected.num_ops() > plain.num_ops():
+        return (
+            f"optimization passes grew the circuit: {plain.num_ops()} -> "
+            f"{expected.num_ops()} ops"
+        )
+    if circuit.is_permutation:
+        before = permutation_index_table(_plain_copy(circuit))
+        after = permutation_index_table(_plain_copy(expected))
+        if not np.array_equal(before, after):
+            offender = int(np.nonzero(before != after)[0][0])
+            return (
+                f"pass pipeline changed semantics: basis state {offender} maps to "
+                f"{int(before[offender])} before but {int(after[offender])} after"
+            )
+    return None
+
+
+def check_lowering_engines(circuit: QuditCircuit) -> Optional[str]:
+    """Object vs table lowering: same acceptance, gate-for-gate same output."""
+    outcomes = {}
+    for engine in ("object", "table"):
+        try:
+            outcomes[engine] = lower_to_g_gates(_plain_copy(circuit), engine=engine)
+        except SynthesisError as error:
+            outcomes[engine] = error
+    object_out, table_out = outcomes["object"], outcomes["table"]
+    if isinstance(object_out, SynthesisError) != isinstance(table_out, SynthesisError):
+        accepted = "table" if isinstance(object_out, SynthesisError) else "object"
+        rejected_error = object_out if isinstance(object_out, SynthesisError) else table_out
+        return (
+            f"only the {accepted} engine lowered the circuit; the other raised: "
+            f"{rejected_error}"
+        )
+    if isinstance(object_out, SynthesisError):
+        return None  # both engines agree the circuit is not lowerable
+    for engine, lowered in (("object", object_out), ("table", table_out)):
+        if not lowered.is_g_circuit():
+            return f"{engine} engine output is not a G-circuit"
+    difference = describe_op_difference(object_out, table_out)
+    if difference:
+        return f"object vs table lowering: {difference}"
+    before = permutation_index_table(_plain_copy(circuit))
+    after = permutation_index_table(table_out)
+    if not np.array_equal(before, after):
+        offender = int(np.nonzero(before != after)[0][0])
+        return (
+            f"lowering changed semantics: basis state {offender} maps to "
+            f"{int(before[offender])} before but {int(after[offender])} after lowering"
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Synthesis-instance oracles
+# ----------------------------------------------------------------------
+def check_estimator(instance: SynthesisInstance) -> Optional[str]:
+    """Analytic prediction vs materialised counts (exact strategies only).
+
+    Strategies whose estimate legitimately does not exist at an instance
+    (non-affine calibration, no borrowable wire at tiny ``k``) and model
+    (``exact=False``) estimates are skipped — the oracle checks the exact
+    analytic path, where any mismatch is a bug by definition.
+    """
+    from repro.synth import registry
+
+    strategy = registry.get(instance.strategy)
+    try:
+        resources = strategy.estimate(instance.dim, instance.k)
+    except (EstimationError, SynthesisError):
+        return None
+    if not resources.exact:
+        return None
+    result = strategy.synthesize(instance.dim, instance.k)
+    report = count_gates(result, lower=True)
+    for metric in METRIC_FIELDS:
+        predicted = getattr(resources, metric)
+        measured = getattr(report, metric)
+        if predicted != measured:
+            return (
+                f"{instance.describe()}: estimator predicts {metric}={predicted} "
+                f"but the materialised circuit has {measured}"
+            )
+    if resources.num_wires != report.num_wires:
+        return (
+            f"{instance.describe()}: estimator predicts {resources.num_wires} wires "
+            f"but the circuit has {report.num_wires}"
+        )
+    if dict(resources.ancillas) != dict(report.ancillas):
+        return (
+            f"{instance.describe()}: estimator predicts ancillas "
+            f"{dict(resources.ancillas)} but the circuit has {dict(report.ancillas)}"
+        )
+    return None
+
+
+def check_synthesis_semantics(instance: SynthesisInstance) -> Optional[str]:
+    """Refinement check: the synthesised circuit meets its own specification."""
+    from repro.synth import registry
+
+    strategy = registry.get(instance.strategy)
+    try:
+        result = strategy.synthesize(instance.dim, instance.k)
+    except SynthesisError as error:
+        return f"{instance.describe()}: supported instance failed to synthesise: {error}"
+    basis = instance.dim**result.circuit.num_wires
+    limit = _SPEC_BASIS_LIMIT if result.circuit.is_permutation else _SPEC_UNITARY_LIMIT
+    if basis > limit:
+        return None  # too large to enumerate (or to build a unitary) per case
+    try:
+        strategy.verify(result, instance.dim, instance.k)
+    except NotImplementedError:
+        return None
+    except VerificationError as error:
+        return f"{instance.describe()}: {error}"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Driver: seeded cases, dispatch, shrinking, report
+# ----------------------------------------------------------------------
+@dataclass
+class Divergence:
+    """One confirmed disagreement between redundant paths."""
+
+    oracle: str
+    case_seed: int
+    message: str
+    circuit: Optional[QuditCircuit] = None
+    instance: Optional[SynthesisInstance] = None
+    original_ops: Optional[int] = None
+    recheck: Optional[Callable] = None
+
+    def to_json(self) -> Dict[str, object]:
+        entry: Dict[str, object] = {
+            "oracle": self.oracle,
+            "case_seed": self.case_seed,
+            "message": self.message,
+        }
+        if self.circuit is not None:
+            entry["reproducer"] = {
+                "num_wires": self.circuit.num_wires,
+                "dim": self.circuit.dim,
+                "num_ops": self.circuit.num_ops(),
+                "ops": [repr(op) for op in self.circuit.ops],
+            }
+            if self.original_ops is not None:
+                entry["original_ops"] = self.original_ops
+        if self.instance is not None:
+            entry["instance"] = {
+                "strategy": self.instance.strategy,
+                "d": self.instance.dim,
+                "k": self.instance.k,
+            }
+        return entry
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing session (JSON-able for the CI artifact)."""
+
+    seed: int
+    cases: int = 0
+    elapsed_seconds: float = 0.0
+    oracle_runs: Dict[str, int] = field(default_factory=dict)
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "cases": self.cases,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "oracle_runs": dict(self.oracle_runs),
+            "ok": self.ok,
+            "divergences": [d.to_json() for d in self.divergences],
+        }
+
+
+def _record(report: FuzzReport, oracle: str) -> None:
+    report.oracle_runs[oracle] = report.oracle_runs.get(oracle, 0) + 1
+
+
+def _guard(oracle: str, check: Callable[[], Optional[str]]) -> Optional[str]:
+    """Run one oracle; an unexpected crash is itself a reportable finding."""
+    try:
+        return check()
+    except Exception as error:  # noqa: BLE001 - crashes are fuzz findings
+        return f"oracle crashed: {type(error).__name__}: {error}"
+
+
+def fuzz_case(case_seed: int, enabled: Sequence[str], report: FuzzReport) -> List[Divergence]:
+    """Generate one seeded case and run every enabled oracle on it."""
+    rng = random.Random(case_seed)
+    found: List[Divergence] = []
+
+    def run(oracle: str, circuit: Optional[QuditCircuit], check: Callable[[], Optional[str]],
+            recheck: Optional[Callable] = None, instance: Optional[SynthesisInstance] = None) -> None:
+        if oracle not in enabled:
+            return
+        _record(report, oracle)
+        message = _guard(oracle, check)
+        if message is not None:
+            found.append(
+                Divergence(
+                    oracle=oracle,
+                    case_seed=case_seed,
+                    message=message,
+                    circuit=circuit,
+                    instance=instance,
+                    original_ops=circuit.num_ops() if circuit is not None else None,
+                    recheck=recheck,
+                )
+            )
+
+    # -- general circuit: round-trip / backends / inverse -------------------
+    scenario = random_circuit_scenario(rng)
+    state_seed = rng.randrange(2**32)
+    general = random_circuit(rng, **scenario)
+    run("round-trip", general, lambda: check_table_round_trip(general),
+        recheck=check_table_round_trip)
+    run("backends", general, lambda: check_backends(general, state_seed),
+        recheck=lambda c: check_backends(c, state_seed))
+    run("inverse", general, lambda: check_inverse_identity(general, state_seed),
+        recheck=lambda c: check_inverse_identity(c, state_seed))
+
+    # -- enriched circuit through a random peephole pipeline ----------------
+    pipeline = random_pipeline(rng)
+    enriched = enrich_for_passes(rng, general)
+    run("passes", enriched, lambda: check_pass_equivalence(enriched, pipeline),
+        recheck=lambda c: check_pass_equivalence(c, pipeline))
+
+    # -- lowerable circuit through both lowering engines --------------------
+    lowerable_scenario = random_circuit_scenario(rng)
+    lowerable_scenario["num_wires"] = max(2, int(lowerable_scenario["num_wires"]))
+    lowerable = random_circuit(rng, lowerable=True, **lowerable_scenario)
+    run("lowering", lowerable, lambda: check_lowering_engines(lowerable),
+        recheck=check_lowering_engines)
+
+    # -- synthesis instance: estimator + semantic spec ----------------------
+    instance = random_synthesis_instance(rng)
+    run("estimator", None, lambda: check_estimator(instance),
+        recheck=check_estimator, instance=instance)
+    run("synth-spec", None, lambda: check_synthesis_semantics(instance),
+        recheck=check_synthesis_semantics, instance=instance)
+
+    return found
+
+
+def _shrink_divergence(divergence: Divergence) -> None:
+    """Minimise the failing artifact in place (never raises)."""
+    from repro.fuzz.shrink import shrink_circuit, shrink_instance
+
+    recheck = divergence.recheck
+    if recheck is None:
+        return
+
+    def fails(artifact) -> bool:
+        try:
+            return _guard(divergence.oracle, lambda: recheck(artifact)) is not None
+        except Exception:  # pragma: no cover - _guard already catches
+            return False
+
+    try:
+        if divergence.circuit is not None:
+            divergence.circuit = shrink_circuit(divergence.circuit, fails)
+        elif divergence.instance is not None:
+            divergence.instance = shrink_instance(divergence.instance, fails)
+    except Exception:  # noqa: BLE001 - shrinking must never mask the finding
+        pass
+
+
+def fuzz_run(
+    *,
+    seed: int = 0,
+    time_budget: Optional[float] = None,
+    max_cases: Optional[int] = None,
+    oracles: Optional[Sequence[str]] = None,
+    shrink: bool = True,
+    stop_on_first: bool = False,
+) -> FuzzReport:
+    """Fuzz until the wall-clock budget or the case budget is exhausted.
+
+    Case ``i`` of a session with seed ``s`` is fully reproduced by
+    ``fuzz_case(s + i, ...)`` — the report records each failing case's seed
+    so a CI finding replays locally with ``--seed``.
+    """
+    enabled = tuple(oracles) if oracles else ORACLE_NAMES
+    unknown = [name for name in enabled if name not in ORACLE_NAMES]
+    if unknown:
+        raise ValueError(f"unknown oracle(s) {unknown}; known: {list(ORACLE_NAMES)}")
+    if time_budget is None and max_cases is None:
+        raise ValueError("fuzz_run needs a time_budget or a max_cases bound")
+    report = FuzzReport(seed=seed)
+    start = time.monotonic()
+    index = 0
+    while True:
+        if max_cases is not None and index >= max_cases:
+            break
+        if time_budget is not None and time.monotonic() - start >= time_budget:
+            break
+        found = fuzz_case(seed + index, enabled, report)
+        if shrink:
+            for divergence in found:
+                _shrink_divergence(divergence)
+        report.divergences.extend(found)
+        report.cases += 1
+        index += 1
+        if stop_on_first and report.divergences:
+            break
+    report.elapsed_seconds = time.monotonic() - start
+    return report
+
+
+__all__ = [
+    "ORACLE_NAMES",
+    "Divergence",
+    "FuzzReport",
+    "check_backends",
+    "check_estimator",
+    "check_inverse_identity",
+    "check_lowering_engines",
+    "check_pass_equivalence",
+    "check_synthesis_semantics",
+    "check_table_round_trip",
+    "describe_op_difference",
+    "fuzz_case",
+    "fuzz_run",
+]

@@ -38,6 +38,7 @@ from repro.sim.verify import (
     assert_wires_preserved,
     mc_shift_spec,
     mct_spec,
+    sample_basis_states,
 )
 
 __all__ = [
@@ -67,4 +68,5 @@ __all__ = [
     "assert_wires_preserved",
     "mc_shift_spec",
     "mct_spec",
+    "sample_basis_states",
 ]

@@ -18,8 +18,7 @@ specification* rather than against a reference circuit:
 
 from __future__ import annotations
 
-import random
-from typing import Callable, Iterable, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,6 +38,30 @@ Spec = Callable[[BasisState], Sequence[int]]
 
 #: Systems with at most this many basis states are verified exhaustively.
 EXHAUSTIVE_LIMIT = 200_000
+
+
+def sample_basis_states(
+    dim: int,
+    num_wires: int,
+    samples: int,
+    seed: int,
+    *,
+    clean_wires: Sequence[int] = (),
+) -> List[BasisState]:
+    """Deterministic sample of basis states, shared by every sampled check.
+
+    One seeded :class:`numpy.random.Generator` drives the sampled fallbacks
+    of the ``assert_*`` helpers, the test-suite samplers in ``conftest`` and
+    the fuzz generators, so a failure reported with its seed reproduces the
+    exact state sequence anywhere.  Wires listed in ``clean_wires`` are
+    pinned to ``0`` (the clean-ancilla contract).
+    """
+    rng = np.random.default_rng(seed)
+    states = rng.integers(0, dim, size=(samples, num_wires))
+    clean = [w for w in clean_wires]
+    if clean:
+        states[:, clean] = 0
+    return [tuple(int(digit) for digit in row) for row in states]
 
 
 def assert_implements_permutation(
@@ -79,22 +102,18 @@ def assert_implements_permutation(
                     f"circuit {circuit.name!r} maps {state} to {actual}, expected {expected}"
                 )
         return
-    rng = random.Random(seed)
-    states: Iterable[BasisState] = (
-        tuple(
-            0 if wire in clean else rng.randrange(circuit.dim)
-            for wire in range(circuit.num_wires)
-        )
-        for _ in range(samples)
+    states = sample_basis_states(
+        circuit.dim, circuit.num_wires, samples, seed, clean_wires=clean
     )
     for state in states:
-        if any(state[w] != 0 for w in clean):
-            continue
         expected = tuple(spec(state))
         actual = apply_to_basis(circuit, state)
         if actual != expected:
+            recipe = f"sample_basis_states({circuit.dim}, {circuit.num_wires}, {samples}, {seed}"
+            recipe += f", clean_wires={clean})" if clean else ")"
             raise VerificationError(
-                f"circuit {circuit.name!r} maps {state} to {actual}, expected {expected}"
+                f"circuit {circuit.name!r} maps {state} to {actual}, expected {expected} "
+                f"(sampled check, seed={seed}; rerun with {recipe})"
             )
 
 
@@ -111,16 +130,6 @@ def assert_wires_preserved(
     This is the borrowed-ancilla / control-preservation invariant.
     """
     wires = tuple(wires)
-
-    def spec_preserving(state: BasisState) -> BasisState:
-        output = apply_to_basis(circuit, state)
-        mismatch = [w for w in wires if output[w] != state[w]]
-        if mismatch:
-            raise VerificationError(
-                f"circuit {circuit.name!r} modified wires {mismatch} on input {state}: {output}"
-            )
-        return output
-
     total = circuit.dim**circuit.num_wires
     if total <= max_states:
         # Fully vectorized: states_differing_on compares the watched wires of
@@ -133,10 +142,16 @@ def assert_wires_preserved(
                 f"circuit {circuit.name!r} modified wires {mismatch} on input {state}: {output}"
             )
     else:
-        rng = random.Random(seed)
-        for _ in range(samples):
-            state = tuple(rng.randrange(circuit.dim) for _ in range(circuit.num_wires))
-            spec_preserving(state)
+        for state in sample_basis_states(circuit.dim, circuit.num_wires, samples, seed):
+            output = apply_to_basis(circuit, state)
+            mismatch = [w for w in wires if output[w] != state[w]]
+            if mismatch:
+                raise VerificationError(
+                    f"circuit {circuit.name!r} modified wires {mismatch} on input "
+                    f"{state}: {output} (sampled check, seed={seed}; rerun with "
+                    f"sample_basis_states({circuit.dim}, {circuit.num_wires}, "
+                    f"{samples}, {seed}))"
+                )
 
 
 def mct_spec(

@@ -1,4 +1,11 @@
-"""Shared pytest fixtures and helpers for the repro test suite."""
+"""Shared pytest fixtures and helpers for the repro test suite.
+
+The samplers here are thin wrappers over the library's own seeded code
+paths — :func:`repro.sim.verify.sample_basis_states` for basis-state
+sampling and the ``assert_*`` verifiers for semantic checks — so the test
+suite and the fuzzing subsystem (:mod:`repro.fuzz`) exercise one
+implementation rather than each carrying a private sampler.
+"""
 
 from __future__ import annotations
 
@@ -6,8 +13,13 @@ import random
 
 import pytest
 
-from repro.sim import apply_to_basis
+from repro.exceptions import VerificationError
+from repro.sim.verify import assert_implements_permutation, sample_basis_states
 from repro.utils.indexing import iterate_basis
+
+#: Seed of ``exhaustive_states``'s deterministic fallback sample (the
+#: verifier-based helpers below use the verifiers' own default seeds).
+SAMPLE_SEED = 99
 
 
 @pytest.fixture
@@ -17,19 +29,27 @@ def rng():
 
 
 def exhaustive_states(dim: int, num_wires: int, limit: int = 250_000):
-    """All basis states if the space is small enough, else a deterministic sample."""
+    """All basis states if the space is small enough, else a seeded sample.
+
+    The sampled branch goes through the same
+    :func:`repro.sim.verify.sample_basis_states` code path the verifiers
+    and the fuzz generators use.
+    """
     total = dim**num_wires
     if total <= limit:
         yield from iterate_basis(dim, num_wires)
         return
-    sampler = random.Random(99)
-    for _ in range(2000):
-        yield tuple(sampler.randrange(dim) for _ in range(num_wires))
+    yield from sample_basis_states(dim, num_wires, 2000, SAMPLE_SEED)
 
 
 def circuit_matches_function(circuit, spec, limit: int = 250_000) -> bool:
-    """Return True if the circuit maps every (sampled) basis state per ``spec``."""
-    for state in exhaustive_states(circuit.dim, circuit.num_wires, limit):
-        if apply_to_basis(circuit, state) != tuple(spec(state)):
-            return False
+    """Return True if the circuit maps every (sampled) basis state per ``spec``.
+
+    Delegates to :func:`repro.sim.verify.assert_implements_permutation`
+    (exhaustive below ``limit`` basis states, seeded-sample fallback above).
+    """
+    try:
+        assert_implements_permutation(circuit, spec, max_states=limit)
+    except VerificationError:
+        return False
     return True

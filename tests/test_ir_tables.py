@@ -13,6 +13,7 @@ import pytest
 
 from repro import lower_to_g_gates, synthesize_mct
 from repro.exceptions import DimensionError, WireError
+from repro.fuzz import generators as fuzz_generators
 from repro.ir import (
     GateTable,
     cancel_adjacent_inverses,
@@ -27,65 +28,30 @@ from repro.passes import (
     PassPipeline,
 )
 from repro.qudit.circuit import QuditCircuit
-from repro.qudit.controls import EvenNonZero, InSet, Odd, Value
-from repro.qudit.gates import SingleQuditUnitary, XPerm, XPlus
+from repro.qudit.controls import Value
+from repro.qudit.gates import XPerm, XPlus
 from repro.qudit.operations import Operation, StarShiftOp
 from repro.sim import Statevector, available_backends, get_backend, permutation_index_table
-from repro.core.multi_controlled_unitary import random_unitary_gate
 
 
 # ----------------------------------------------------------------------
-# Randomized circuit generator (property-style)
+# Randomized circuit generator (property-style) — one seeded code path
+# shared with the fuzzing subsystem (repro.fuzz.generators).
 # ----------------------------------------------------------------------
-def _random_predicate(rng, dim):
-    roll = rng.randrange(4)
-    if roll == 0:
-        return Value(rng.randrange(dim))
-    if roll == 1:
-        return Odd()
-    if roll == 2:
-        return EvenNonZero()
-    size = rng.randrange(1, dim)
-    return InSet(frozenset(rng.sample(range(dim), size)))
-
-
-def _random_gate(rng, dim, allow_unitary):
-    roll = rng.randrange(4 if allow_unitary else 3)
-    if roll == 0:
-        i, j = rng.sample(range(dim), 2)
-        return XPerm.transposition(dim, i, j)
-    if roll == 1:
-        return XPlus(dim, rng.randrange(dim))
-    if roll == 2:
-        perm = list(range(dim))
-        rng.shuffle(perm)
-        return XPerm(tuple(perm))
-    return random_unitary_gate(dim, seed=rng.randrange(10_000))
-
-
 def random_circuit(seed, num_wires=5, dim=3, num_ops=40, *, allow_unitary=True):
-    """Mixed XPerm/XPlus/unitary/star ops with 0..3 random-predicate controls."""
-    rng = random.Random(seed)
-    circuit = QuditCircuit(num_wires, dim, name=f"random-{seed}")
-    for _ in range(num_ops):
-        wires = rng.sample(range(num_wires), rng.randrange(2, min(5, num_wires) + 1))
-        target, rest = wires[0], wires[1:]
-        if rng.random() < 0.25 and rest:
-            star, controls = rest[0], rest[1:]
-            op = StarShiftOp(
-                star,
-                target,
-                rng.choice([1, -1]),
-                [(w, _random_predicate(rng, dim)) for w in controls],
-            )
-        else:
-            op = Operation(
-                _random_gate(rng, dim, allow_unitary),
-                target,
-                [(w, _random_predicate(rng, dim)) for w in rest],
-            )
-        circuit.append(op)
-    return circuit
+    """Mixed XPerm/XPlus/unitary/star ops with random-predicate controls."""
+    weights = dict(fuzz_generators.DEFAULT_OP_WEIGHTS)
+    if not allow_unitary:
+        weights["unitary"] = 0.0
+    return fuzz_generators.random_circuit(
+        seed,
+        num_wires=num_wires,
+        dim=dim,
+        num_ops=num_ops,
+        op_weights=weights,
+        max_controls=3,
+        name=f"random-{seed}",
+    )
 
 
 def assert_ops_identical(first, second):
@@ -370,6 +336,108 @@ def test_table_backed_circuit_materialises_lazily():
     assert lowered._ops is None
     _ = lowered.ops  # iteration materialises on demand
     assert lowered._ops is not None
+
+
+# ----------------------------------------------------------------------
+# Edge cases the fuzzer is expected to reach
+# ----------------------------------------------------------------------
+def test_empty_circuit_table_round_trip_and_kernels():
+    circuit = QuditCircuit(3, 3, name="empty")
+    table = circuit.to_table()
+    assert len(table) == 0
+    back = table.to_circuit()
+    assert back.num_ops() == 0
+    assert back.depth() == 0
+    assert back.two_qudit_count() == 0
+    assert back.g_gate_count() == 0
+    assert back.max_span() == 0
+    assert back.used_wires() == ()
+    assert back.label_histogram() == {}
+    assert back.is_g_circuit()  # vacuously
+    assert table.inverse().num_ops() == 0
+    np.testing.assert_array_equal(table.permutation_index_table(), np.arange(27))
+    state = Statevector(3, 3)
+    state.apply_circuit(back)
+    assert state.probability((0, 0, 0)) == pytest.approx(1.0)
+    lowered = lower_to_g_gates(circuit)
+    assert lowered.num_ops() == 0
+
+
+def test_width_one_circuit_table_round_trip_and_sim():
+    circuit = QuditCircuit(1, 4, name="width-1")
+    circuit.add_gate(XPerm.transposition(4, 0, 3), 0)
+    circuit.add_gate(XPlus(4, 2), 0)
+    circuit.add_gate(XPerm.transposition(4, 1, 2), 0)
+    table = circuit.to_table()
+    back = table.to_circuit()
+    assert_ops_identical(circuit, back)
+    assert back.depth() == 3
+    assert back.used_wires() == (0,)
+    assert back.max_span() == 1
+    np.testing.assert_array_equal(
+        table.permutation_index_table(),
+        permutation_index_table(QuditCircuit(1, 4).extend(circuit.ops)),
+    )
+    for backend in available_backends():
+        state = Statevector(1, 4, backend=backend)
+        state.apply_circuit(back)
+        # |0> -X03-> |3> -X+2-> |1> -X12-> |2>
+        assert state.probability((2,)) == pytest.approx(1.0)
+
+
+def test_non_contiguous_wires_after_remap_keep_kernels_consistent():
+    circuit = random_circuit(13, num_wires=3, dim=3, num_ops=20, allow_unitary=False)
+    mapping = {0: 5, 1: 0, 2: 3}
+    sparse = circuit.to_table().remap_wires(mapping, num_wires=7).to_circuit()
+    plain = QuditCircuit(circuit.num_wires, circuit.dim).extend(circuit.ops)
+    expected = plain.remap_wires(mapping, num_wires=7)
+    assert_ops_identical(expected, sparse)
+    assert sparse.used_wires() == expected.used_wires() == (0, 3, 5)
+    assert sparse.depth() == expected.depth()
+    assert sparse.two_qudit_count() == expected.two_qudit_count()
+    # The remapped table still simulates identically to the object path.
+    np.testing.assert_array_equal(
+        sparse.to_table().permutation_index_table(),
+        permutation_index_table(QuditCircuit(7, 3).extend(expected.ops)),
+    )
+    # Lowering a circuit on non-contiguous wires agrees across engines too.
+    object_lowered = lower_to_g_gates(expected, engine="object")
+    table_lowered = lower_to_g_gates(sparse, engine="table")
+    assert_ops_identical(object_lowered, table_lowered)
+
+
+def test_mutation_after_to_table_invalidates_through_every_entry_point():
+    base = random_circuit(14, num_wires=3, dim=3, num_ops=8, allow_unitary=False)
+    extra = Operation(XPerm.transposition(3, 0, 2), 1)
+
+    appended = base.copy()
+    table = appended.to_table()
+    appended.append(extra)
+    assert appended.cached_table is None
+    assert appended.num_ops() == len(table) + 1
+    assert appended.to_table() is not table
+
+    extended = base.copy()
+    extended.to_table()
+    extended.extend([extra, extra.inverse()])
+    assert extended.cached_table is None
+    assert extended.num_ops() == base.num_ops() + 2
+
+    composed = base.copy()
+    composed.to_table()
+    composed.compose(QuditCircuit(2, 3).add_gate(XPerm.transposition(3, 0, 1), 0))
+    assert composed.cached_table is None
+    # Stale-table reads would get the old op count / permutation action.
+    assert composed.num_ops() == base.num_ops() + 1
+    np.testing.assert_array_equal(
+        permutation_index_table(composed),
+        composed.to_table().permutation_index_table(),
+    )
+
+    via_add_gate = base.copy()
+    via_add_gate.to_table()
+    via_add_gate.add_gate(XPerm.transposition(3, 1, 2), 2)
+    assert via_add_gate.cached_table is None
 
 
 # ----------------------------------------------------------------------
