@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""Batched execution service: cold-vs-warm cache and batched-vs-looped sim.
+
+Two measurements over the PR-5 ``repro.exec`` subsystem:
+
+* **compile cache** — a workload of repeated ``mct`` requests runs twice
+  against one cache directory.  The cold run synthesises + lowers each
+  unique scenario once (the planner dedupes repeats); the warm run must
+  serve every compile from disk without any synthesis.  Full runs enforce a
+  ≥10x cold/warm wall-clock floor; every run asserts the warm pass
+  performed **zero** synthesis calls (instrumented, not inferred).
+* **batched simulation** — B random superposition states through a lowered
+  ``mct`` table: ``apply_table_batch`` (one composed gather for the whole
+  batch) vs. B independent ``apply_table`` calls on the dense engine, with
+  bit-for-bit equality required.  Full runs enforce a ≥3x floor at B ≥ 32
+  (measured well above 100x in practice).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_batch_exec.py          # full
+    PYTHONPATH=src python benchmarks/bench_batch_exec.py --quick  # CI smoke
+
+Results are printed and persisted to ``benchmarks/results/batch_exec.json``
+(``batch_exec_quick.json`` for smoke runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from _harness import RESULTS_DIR, emit_table
+
+from repro import lower_to_g_gates, synthesize_mct
+from repro.bench import render_table
+from repro.exec import WorkloadSpec, run_workload
+from repro.ir import lowering as ir_lowering
+from repro.sim import get_backend
+from repro.synth import registry
+
+#: Full-run floors (quick runs only assert semantics, not wall clock).
+CACHE_SPEEDUP_FLOOR = 10.0
+BATCH_SPEEDUP_FLOOR = 3.0
+BATCH_SIZE_FLOOR = 32
+
+
+def _count_synthesis_calls(strategy_name: str):
+    """Context manager counting ``synthesize`` calls on one strategy."""
+    import contextlib
+
+    @contextlib.contextmanager
+    def patched():
+        strategy = registry.get(strategy_name)
+        original = strategy.synthesize
+        calls = [0]
+
+        def counting(*args, **kwargs):
+            calls[0] += 1
+            return original(*args, **kwargs)
+
+        strategy.synthesize = counting
+        try:
+            yield calls
+        finally:
+            strategy.synthesize = original
+
+    return patched()
+
+
+def bench_cache(ks, repeats, quick) -> dict:
+    """Cold vs. warm workload runs over one persistent cache directory."""
+    spec = WorkloadSpec.from_dict(
+        {
+            "requests": [
+                {"kind": "synthesize", "strategy": "mct", "d": 3, "k": k}
+                for _ in range(repeats)
+                for k in ks
+            ]
+        }
+    )
+    with tempfile.TemporaryDirectory() as cache_dir:
+        # Cold-start the lowering templates too, so the cold run pays the
+        # full first-compile price a fresh process would.
+        ir_lowering._TEMPLATE_OPS_CACHE.clear()
+        start = time.perf_counter()
+        cold = run_workload(spec, jobs=1, cache_dir=cache_dir)
+        cold_seconds = time.perf_counter() - start
+        assert cold.ok, cold.rows
+
+        with _count_synthesis_calls("mct") as calls:
+            start = time.perf_counter()
+            warm = run_workload(spec, jobs=1, cache_dir=cache_dir)
+            warm_seconds = time.perf_counter() - start
+        assert warm.ok, warm.rows
+        synthesis_calls_warm = calls[0]
+
+    speedup = cold_seconds / warm_seconds
+    return {
+        "ks": list(ks),
+        "requests": len(spec.requests),
+        "unique_compiles": cold.unique_compiles,
+        "dedup_savings": cold.dedup_savings,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": speedup,
+        "warm_hits": warm.warm_hits,
+        "warm_puts": warm.cache_stats["puts"],
+        "synthesis_calls_warm": synthesis_calls_warm,
+    }
+
+
+def bench_batched_sim(k, batch_sizes) -> list:
+    """Batched vs. looped dense simulation on a lowered mct table."""
+    lowered = lower_to_g_gates(synthesize_mct(3, k).circuit)
+    table = lowered.cached_table
+    dense = get_backend("dense")
+    size = 3 ** lowered.num_wires
+    rng = np.random.default_rng(20260726)
+    rows = []
+    for batch in batch_sizes:
+        data = rng.normal(size=(size, batch)) + 1j * rng.normal(size=(size, batch))
+        data /= np.linalg.norm(data, axis=0, keepdims=True)
+        dense.apply_table_batch(data.copy(), table)  # warm the composed gather
+        start = time.perf_counter()
+        batched = dense.apply_table_batch(data.copy(), table)
+        batched_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        columns = [
+            dense.apply_table(np.ascontiguousarray(data[:, b]), table)
+            for b in range(batch)
+        ]
+        looped_seconds = time.perf_counter() - start
+        looped = np.stack(columns, axis=1)
+        rows.append(
+            {
+                "k": k,
+                "gates": lowered.num_ops(),
+                "batch": batch,
+                "batched_seconds": batched_seconds,
+                "looped_seconds": looped_seconds,
+                "speedup": looped_seconds / batched_seconds,
+                "bit_for_bit": bool(np.array_equal(batched, looped)),
+            }
+        )
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small cases for CI smoke runs (floors asserted on semantics only)",
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        ks, repeats = (8,), 4
+        sim_k, batch_sizes = 5, (8,)
+    else:
+        ks, repeats = (16, 32), 6
+        sim_k, batch_sizes = 7, (32, 64)
+
+    cache = bench_cache(ks, repeats, args.quick)
+    sim_rows = bench_batched_sim(sim_k, batch_sizes)
+
+    failures = []
+    # Semantics floors hold in every mode: a warm cache must skip synthesis.
+    if cache["synthesis_calls_warm"] != 0:
+        failures.append(
+            f"warm run performed {cache['synthesis_calls_warm']} synthesis calls"
+        )
+    if cache["warm_puts"] != 0:
+        failures.append(f"warm run wrote {cache['warm_puts']} new cache entries")
+    if cache["warm_hits"] != cache["unique_compiles"]:
+        failures.append(
+            f"warm run hit {cache['warm_hits']}/{cache['unique_compiles']} compiles"
+        )
+    for row in sim_rows:
+        if not row["bit_for_bit"]:
+            failures.append(f"B={row['batch']}: batched result diverged from looped")
+    if not args.quick:
+        if cache["speedup"] < CACHE_SPEEDUP_FLOOR:
+            failures.append(
+                f"warm-cache speedup {cache['speedup']:.1f}x is below the "
+                f"{CACHE_SPEEDUP_FLOOR:.0f}x floor"
+            )
+        for row in sim_rows:
+            if row["batch"] >= BATCH_SIZE_FLOOR and row["speedup"] < BATCH_SPEEDUP_FLOOR:
+                failures.append(
+                    f"B={row['batch']} batched speedup {row['speedup']:.1f}x is below "
+                    f"the {BATCH_SPEEDUP_FLOOR:.0f}x floor"
+                )
+
+    cache_table = render_table(
+        [
+            {
+                "requests": cache["requests"],
+                "unique": cache["unique_compiles"],
+                "deduped": cache["dedup_savings"],
+                "cold_s": round(cache["cold_seconds"], 3),
+                "warm_s": round(cache["warm_seconds"], 4),
+                "speedup": f"{cache['speedup']:.1f}x",
+                "warm_synth_calls": cache["synthesis_calls_warm"],
+            }
+        ],
+        title=(
+            f"Compile cache: repeated mct workload (d=3, k∈{cache['ks']}) — "
+            "cold vs warm over one cache directory"
+        ),
+    )
+    sim_table = render_table(
+        [
+            {
+                "batch": row["batch"],
+                "gates": row["gates"],
+                "batched_s": round(row["batched_seconds"], 4),
+                "looped_s": round(row["looped_seconds"], 3),
+                "speedup": f"{row['speedup']:.0f}x",
+                "bit_for_bit": row["bit_for_bit"],
+            }
+            for row in sim_rows
+        ],
+        title=(
+            f"Batched dense simulation: apply_table_batch vs per-state loop "
+            f"(lowered mct d=3 k={sim_k})"
+        ),
+    )
+    stem = "batch_exec_quick" if args.quick else "batch_exec"
+    emit_table(stem, cache_table + "\n\n" + sim_table)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "quick": args.quick,
+        "cache": cache,
+        "batched_sim": sim_rows,
+        "floors": None
+        if args.quick
+        else {
+            "cache_speedup": CACHE_SPEEDUP_FLOOR,
+            "batch_speedup": BATCH_SPEEDUP_FLOOR,
+            "batch_size": BATCH_SIZE_FLOOR,
+        },
+    }
+    json_path = RESULTS_DIR / f"{stem}.json"
+    json_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"[json written to {json_path}]")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,8 +55,23 @@ studies never need to materialise circuits:
 >>> estimate("mct", 3, 10**6).g_gates                   # doctest: +SKIP
 >>> synth.auto_select(3, 20).strategy.name              # doctest: +SKIP
 
-``python -m repro list|estimate|synthesize`` exposes the same surface on
-the command line.
+Batched execution service
+-------------------------
+:mod:`repro.exec` (exported here as ``batch_exec``) serves repeated and
+bulk workloads: a persistent content-addressed compile cache (stable keys
+over strategy/scenario/pipeline-spec/engine/salt, lossless ``GateTable`` ↔
+``.npz`` artifacts, LRU-bounded on-disk store plus an in-process memo) and
+a parallel workload runner whose planner dedupes requests sharing a cache
+key.  Batched simulation lives in :mod:`repro.sim`
+(:class:`~repro.sim.batch.BatchedStatevector`): B states evolve per
+composed gather instead of one statevector at a time:
+
+>>> from repro.exec import CompileCache, compile_lowered
+>>> cache = CompileCache(".repro-cache")                # doctest: +SKIP
+>>> compile_lowered("mct", 3, 64, cache=cache).source   # doctest: +SKIP
+
+``python -m repro list|estimate|synthesize|simulate|fuzz|batch`` exposes
+the same surface on the command line.
 """
 
 from repro.core import (
@@ -96,6 +111,7 @@ from repro.passes import (
 from repro import sim as verify
 from repro import synth
 from repro import fuzz
+from repro import exec as batch_exec
 from repro.ir import GateTable
 from repro.resources.estimator import Resources, estimate
 
@@ -133,6 +149,7 @@ __all__ = [
     "verify",
     "synth",
     "fuzz",
+    "batch_exec",
     "GateTable",
     "Resources",
     "estimate",

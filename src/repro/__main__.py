@@ -17,6 +17,11 @@ Quick scenario exploration over the synthesis registry:
   fuzzing: seeded random circuits, synthesis instances and pass pipelines
   through every redundant engine pair (see :mod:`repro.fuzz`); exits
   non-zero on any divergence, with failures shrunk to minimal reproducers.
+* ``python -m repro batch --workload spec.json --jobs 4 --cache-dir .cache``
+  — run a JSON workload (synthesize / simulate / estimate requests) through
+  the persistent content-addressed compile cache: requests sharing a cache
+  key are compiled once, workers share artifacts through the cache
+  directory, and warm runs skip synthesis entirely (see :mod:`repro.exec`).
 """
 
 from __future__ import annotations
@@ -142,6 +147,35 @@ def _cmd_synthesize(args) -> int:
     return 0
 
 
+def _parse_state(text: str, num_wires: int, dim: int) -> List[int]:
+    """Parse and validate a ``--state`` digit string against the register.
+
+    Raises :class:`SynthesisError` (rendered as a one-line CLI error) instead
+    of letting a malformed token or out-of-range digit surface as a raw
+    ``ValueError``/index traceback from numpy.
+    """
+    tokens = text.replace(",", " ").split()
+    digits = []
+    for token in tokens:
+        try:
+            digits.append(int(token))
+        except ValueError:
+            raise SynthesisError(
+                f"--state digit {token!r} is not an integer (expected e.g. 0,0,1,2)"
+            ) from None
+    if len(digits) != num_wires:
+        raise SynthesisError(
+            f"--state needs {num_wires} digits for this circuit, got {len(digits)}"
+        )
+    for position, digit in enumerate(digits):
+        if not 0 <= digit < dim:
+            raise SynthesisError(
+                f"--state digit {digit} at position {position} is out of range for "
+                f"dimension d={dim} (valid digits: 0..{dim - 1})"
+            )
+    return digits
+
+
 def _cmd_simulate(args) -> int:
     from repro.core.lowering import lower_to_g_gates
     from repro.sim import Statevector, available_backends, get_backend
@@ -161,11 +195,7 @@ def _cmd_simulate(args) -> int:
     lower_seconds = time.perf_counter() - start
 
     if args.state:
-        digits = [int(x) for x in args.state.replace(",", " ").split()]
-        if len(digits) != circuit.num_wires:
-            raise SynthesisError(
-                f"--state needs {circuit.num_wires} digits for this circuit, got {len(digits)}"
-            )
+        digits = _parse_state(args.state, circuit.num_wires, args.d)
         state = Statevector.from_basis_state(digits, args.d, backend=args.backend)
     else:
         digits = [0] * circuit.num_wires
@@ -197,6 +227,46 @@ def _cmd_simulate(args) -> int:
         )
         print(render_table([row], title=title))
     return 0
+
+
+def _cmd_batch(args) -> int:
+    from repro.exec import WorkloadSpec, run_workload
+
+    spec = WorkloadSpec.from_json(args.workload)
+    report = run_workload(spec, jobs=args.jobs, cache_dir=args.cache_dir)
+    payload = report.to_json()
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(json_safe(payload), handle, indent=2, ensure_ascii=False)
+    if args.json:
+        print(json.dumps(json_safe(payload), indent=2, ensure_ascii=False))
+    else:
+        rows = []
+        for index, row in enumerate(report.rows):
+            rows.append(
+                {
+                    "#": index,
+                    "kind": row.get("kind"),
+                    "strategy": row.get("strategy"),
+                    "d": row.get("d"),
+                    "k": row.get("k"),
+                    "cache": row.get("cache", ""),
+                    "gates": row.get("gates", row.get("g_gates", "")),
+                    "outputs": ",".join(row.get("outputs", [])) or "",
+                    "seconds": row.get("seconds"),
+                    "status": "ok" if row.get("ok") else row.get("error", "failed"),
+                }
+            )
+        title = (
+            f"Batch workload: {len(report.rows)} requests, jobs={report.jobs}, "
+            f"{report.unique_compiles} unique compiles "
+            f"({report.dedup_savings} deduped, {report.warm_hits} warm), "
+            f"{report.seconds:.2f}s"
+        )
+        print(render_table(rows, title=title))
+        if args.cache_dir:
+            print(f"\ncache directory: {args.cache_dir}")
+    return 0 if report.ok else 1
 
 
 def _cmd_fuzz(args) -> int:
@@ -299,6 +369,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sim.add_argument("--json", action="store_true", help="emit JSON")
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_batch = sub.add_parser(
+        "batch", help="run a JSON workload through the compile cache in parallel"
+    )
+    p_batch.add_argument("--workload", required=True, help="path to the workload spec JSON")
+    p_batch.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = run in-process)"
+    )
+    p_batch.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent compile-cache directory shared by workers (and future runs)",
+    )
+    p_batch.add_argument("--report", help="also write the JSON report to this path")
+    p_batch.add_argument("--json", action="store_true", help="emit JSON on stdout")
+    p_batch.set_defaults(func=_cmd_batch)
 
     p_fuzz = sub.add_parser(
         "fuzz", help="differential fuzzing across every redundant engine pair"

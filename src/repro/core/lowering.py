@@ -30,8 +30,36 @@ from repro.qudit.circuit import QuditCircuit
 _MAX_PASSES = 12
 
 
-def lower_to_g_gates(circuit: QuditCircuit, *, engine: str = "table") -> QuditCircuit:
-    """Return an equivalent circuit consisting solely of G-gates."""
+def lower_to_g_gates(
+    circuit: QuditCircuit,
+    *,
+    engine: str = "table",
+    cache=None,
+    cache_key: str = None,
+) -> QuditCircuit:
+    """Return an equivalent circuit consisting solely of G-gates.
+
+    ``cache=`` (a :class:`repro.exec.cache.CompileCache`) with ``cache_key=``
+    (a content address from :func:`repro.exec.keys.cache_key`, covering the
+    inputs that produced ``circuit``) opts into the persistent compile
+    cache: a hit skips lowering entirely and returns a circuit backed by the
+    cached columnar table; a miss lowers as usual and stores the result.
+    """
+    if engine not in ("table", "object"):
+        raise SynthesisError(f"unknown lowering engine {engine!r}; use 'table' or 'object'")
+    if cache is not None:
+        if cache_key is None:
+            raise SynthesisError("lower_to_g_gates(cache=...) requires cache_key=")
+        entry = cache.get(cache_key)
+        if entry is not None:
+            if not entry.table.is_g_circuit():
+                # The same guard the miss paths enforce: a key addressing a
+                # macro-level artifact must not masquerade as lowered output.
+                raise SynthesisError(
+                    f"cache key {cache_key[:12]}… resolves to a non-G-gate table; "
+                    "it does not address lowered output"
+                )
+            return QuditCircuit.from_table(entry.table)
     if engine == "table":
         # Imported lazily: repro.ir.lowering reaches into repro.passes, which
         # pulls in repro.core synthesis modules; a module-level import here
@@ -41,14 +69,14 @@ def lower_to_g_gates(circuit: QuditCircuit, *, engine: str = "table") -> QuditCi
         table = lower_circuit_to_table(circuit, max_sweeps=_MAX_PASSES)
         if not table.is_g_circuit():  # pragma: no cover - defensive
             raise SynthesisError("lowering did not converge to G-gates")
-        return QuditCircuit.from_table(table, name=f"{circuit.name} [G]")
-    if engine != "object":
-        raise SynthesisError(f"unknown lowering engine {engine!r}; use 'table' or 'object'")
+        lowered = QuditCircuit.from_table(table, name=f"{circuit.name} [G]")
+    elif engine == "object":
+        from repro.passes import default_lowering_pipeline
 
-    from repro.passes import default_lowering_pipeline
-
-    lowered = default_lowering_pipeline(max_sweeps=_MAX_PASSES).run(circuit)
-    if not lowered.is_g_circuit():  # pragma: no cover - defensive
-        raise SynthesisError("lowering did not converge to G-gates")
-    lowered.name = f"{circuit.name} [G]"
+        lowered = default_lowering_pipeline(max_sweeps=_MAX_PASSES).run(circuit)
+        if not lowered.is_g_circuit():  # pragma: no cover - defensive
+            raise SynthesisError("lowering did not converge to G-gates")
+        lowered.name = f"{circuit.name} [G]"
+    if cache is not None:
+        cache.put(cache_key, lowered.to_table())
     return lowered

@@ -42,6 +42,17 @@ class VerificationError(ReproError):
     its specification."""
 
 
+class CacheError(ReproError):
+    """Raised when a compile-cache artifact is malformed or unreadable —
+    a corrupted or truncated ``.npz`` payload, an unknown serialization
+    format version, or metadata that does not match the stored table."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a batch workload spec is malformed: unknown request
+    kind, missing fields, or values the referenced strategy rejects."""
+
+
 class EstimationError(ReproError):
     """Raised when the analytic resource estimator cannot produce an exact
     count — an unsupported strategy/parameter combination, or a calibration

@@ -1,0 +1,273 @@
+"""The persistent content-addressed compile cache.
+
+Two layers in front of the compilers:
+
+* an **in-process memo** — an LRU dict from cache key to the live
+  :class:`~repro.ir.table.GateTable` (tables are immutable, so sharing one
+  instance across callers is safe and also shares its gather caches);
+* an **on-disk store** — one ``<key>.npz`` table archive plus a ``<key>.json``
+  metadata sidecar per entry under ``cache_dir``, written atomically
+  (temp file + ``os.replace``) so concurrent workers of the batch runner
+  can share one directory without locks.  The store is LRU-bounded by
+  total byte size: every hit touches the entry's mtime and :meth:`put`
+  evicts oldest-touched entries until the budget holds.
+
+Keys come from :func:`repro.exec.keys.cache_key`; a cache never interprets
+them.  Corrupted or format-incompatible archives are treated as misses (and
+deleted) rather than errors — a cache must never be able to break a build.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import CacheError
+from repro.exec.keys import CODE_VERSION
+from repro.exec.serialize import load_table, save_table
+from repro.ir.table import GateTable
+
+#: Default on-disk budget (bytes); lowered-circuit archives are ~10-100 KB.
+DEFAULT_MAX_DISK_BYTES = 256 * 1024 * 1024
+
+#: Default number of live tables kept in the in-process memo.
+DEFAULT_MAX_MEMO_ENTRIES = 128
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance (reset with :meth:`CompileCache.reset_stats`)."""
+
+    memo_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memo_hits + self.disk_hits
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "memo_hits": self.memo_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class CacheEntry:
+    """One cache hit: the table plus its JSON metadata sidecar."""
+
+    key: str
+    table: GateTable
+    meta: Dict[str, object] = field(default_factory=dict)
+    source: str = "memo"  # "memo" | "disk"
+
+
+class CompileCache:
+    """Content-addressed store for compiled :class:`GateTable` artifacts.
+
+    ``cache_dir=None`` gives a memo-only cache (useful in tests and as the
+    per-worker layer of the batch runner when no directory is configured).
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[os.PathLike] = None,
+        *,
+        max_disk_bytes: int = DEFAULT_MAX_DISK_BYTES,
+        max_memo_entries: int = DEFAULT_MAX_MEMO_ENTRIES,
+        salt: str = CODE_VERSION,
+    ):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.max_disk_bytes = int(max_disk_bytes)
+        self.max_memo_entries = int(max_memo_entries)
+        self.salt = salt
+        self.stats = CacheStats()
+        self._memo: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def _check_key(self, key: str) -> str:
+        if not key or not all(c in "0123456789abcdef" for c in key):
+            raise CacheError(f"malformed cache key {key!r} (expected a hex digest)")
+        return key
+
+    def _paths(self, key: str) -> Tuple[Path, Path]:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{key}.npz", self.cache_dir / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[CacheEntry]:
+        """The cached entry for ``key``, or ``None`` on a miss.
+
+        Memo first, then disk; a disk hit is promoted into the memo and its
+        mtime touched (the LRU clock of the on-disk store).
+        """
+        key = self._check_key(key)
+        entry = self._memo.get(key)
+        if entry is not None:
+            self._memo.move_to_end(key)
+            self.stats.memo_hits += 1
+            return CacheEntry(key=entry.key, table=entry.table, meta=entry.meta, source="memo")
+        if self.cache_dir is None:
+            self.stats.misses += 1
+            return None
+        npz_path, meta_path = self._paths(key)
+        if not npz_path.exists():
+            # Clean up a sidecar orphaned by a crash between the two writes.
+            if meta_path.exists():
+                self._remove(key)
+            self.stats.misses += 1
+            return None
+        try:
+            table = load_table(npz_path)
+            # The sidecar is written before the npz, so a hit without one
+            # means a corrupted entry — never serve a table with silently
+            # empty metadata (wire roles would be wrong downstream).
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            os.utime(npz_path)
+        except (CacheError, OSError, ValueError):
+            # A corrupt (or concurrently evicted) artifact is a miss; drop
+            # whatever is left of it so it is rebuilt cleanly.
+            self._remove(key)
+            self.stats.misses += 1
+            return None
+        entry = CacheEntry(key=key, table=table, meta=meta, source="disk")
+        self._memoize(entry)
+        self.stats.disk_hits += 1
+        return entry
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memo:
+            return True
+        return self.cache_dir is not None and self._paths(self._check_key(key))[0].exists()
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def put(self, key: str, table: GateTable, meta: Optional[Dict[str, object]] = None) -> CacheEntry:
+        """Store ``table`` under ``key`` (memo + atomic disk write), evicting LRU."""
+        key = self._check_key(key)
+        entry = CacheEntry(key=key, table=table, meta=dict(meta or {}), source="memo")
+        self._memoize(entry)
+        self.stats.puts += 1
+        if self.cache_dir is None:
+            return entry
+        npz_path, meta_path = self._paths(key)
+        # Sidecar first, table second, both atomic: an entry is visible
+        # (npz present) only once its metadata is complete, and a crash
+        # between the two leaves an orphan sidecar that get() cleans up.
+        self._atomic_write(
+            meta_path,
+            json.dumps(entry.meta, indent=2, sort_keys=True, ensure_ascii=False).encode(
+                "utf-8"
+            )
+            + b"\n",
+        )
+        fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                save_table(handle, table)
+            os.replace(tmp_name, npz_path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        self._evict_over_budget(protect=key)
+        return entry
+
+    def _atomic_write(self, path: Path, payload: bytes) -> None:
+        fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".json.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _memoize(self, entry: CacheEntry) -> None:
+        self._memo[entry.key] = entry
+        self._memo.move_to_end(entry.key)
+        while len(self._memo) > self.max_memo_entries:
+            self._memo.popitem(last=False)
+
+    def _remove(self, key: str) -> None:
+        self._memo.pop(key, None)
+        if self.cache_dir is None:
+            return
+        for path in self._paths(key):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _disk_entries(self) -> List[Tuple[float, int, str]]:
+        """(mtime, bytes, key) for every on-disk entry, oldest first."""
+        assert self.cache_dir is not None
+        entries = []
+        for npz_path in self.cache_dir.glob("*.npz"):
+            try:
+                stat = npz_path.stat()
+            except OSError:  # racing eviction from another worker
+                continue
+            entries.append((stat.st_mtime, stat.st_size, npz_path.stem))
+        entries.sort()
+        return entries
+
+    def _evict_over_budget(self, protect: Optional[str] = None) -> None:
+        entries = self._disk_entries()
+        total = sum(size for _, size, _ in entries)
+        for _, size, key in entries:
+            if total <= self.max_disk_bytes:
+                break
+            if key == protect:
+                continue
+            self._remove(key)
+            self.stats.evictions += 1
+            total -= size
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def keys(self) -> List[str]:
+        """Every key currently retrievable (memo ∪ disk), unordered."""
+        out = set(self._memo)
+        if self.cache_dir is not None:
+            out.update(path.stem for path in self.cache_dir.glob("*.npz"))
+        return sorted(out)
+
+    def disk_bytes(self) -> int:
+        if self.cache_dir is None:
+            return 0
+        return sum(size for _, size, _ in self._disk_entries())
+
+    def clear_memo(self) -> None:
+        """Drop the in-process layer (disk entries survive)."""
+        self._memo.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = str(self.cache_dir) if self.cache_dir is not None else "memo-only"
+        return f"CompileCache({where}, entries={len(self.keys())}, {self.stats.as_dict()})"

@@ -1,0 +1,229 @@
+"""Lossless ``GateTable`` ↔ ``.npz`` serialization.
+
+A :class:`~repro.ir.table.GateTable` is already array-shaped — eight int
+columns plus four interned pools — so its on-disk form is a plain
+``np.savez_compressed`` archive: the columns verbatim, and each pool
+flattened into parallel arrays (ragged entries via offset arrays).  Nothing
+is pickled (``np.load`` runs with ``allow_pickle=False``), so a cache
+directory can be shared between processes and machines without executing
+code on load.
+
+Round-tripping is lossless: the reloaded table has identical columns and
+pools whose entries compare equal gate-for-gate (permutation, matrix,
+label, predicate), so every column kernel, simulation path and
+``to_circuit()`` materialisation agrees with the original — asserted
+property-style by the ``cache`` fuzz oracle and ``tests/test_exec_cache.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.exceptions import CacheError
+from repro.ir.pools import PoolSet
+from repro.ir.table import COLUMNS, GateTable
+from repro.qudit.controls import EvenNonZero, InSet, Odd, Value
+from repro.qudit.gates import SingleQuditUnitary, XPerm, XPlus
+
+#: Bumped whenever the archive layout below changes; mismatching archives
+#: are rejected with :class:`CacheError` instead of being misdecoded.
+FORMAT_VERSION = 1
+
+_PRED_VALUE, _PRED_ODD, _PRED_EVEN, _PRED_INSET = 0, 1, 2, 3
+_PERM_XPERM, _PERM_XPLUS = 0, 1
+
+
+def _ragged(rows: List[List[int]]):
+    """Pack variable-length int rows as ``(flat 1-D, offsets)`` arrays."""
+    offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+    for i, row in enumerate(rows):
+        offsets[i + 1] = offsets[i] + len(row)
+    flat = np.asarray([value for row in rows for value in row], dtype=np.int64)
+    return flat, offsets
+
+
+def table_to_arrays(table: GateTable) -> Dict[str, np.ndarray]:
+    """Flatten a table (columns + pools) into one dict of plain ndarrays."""
+    pools = table.pools
+    arrays: Dict[str, np.ndarray] = {
+        "format_version": np.int64(FORMAT_VERSION),
+        "num_wires": np.int64(table.num_wires),
+        "dim": np.int64(table.dim),
+        "name": np.str_(table.name),
+    }
+    for column_name, column in zip(COLUMNS, table.columns):
+        arrays[f"col_{column_name}"] = column
+
+    # Permutation-gate pool: kind, permutation row, label, XPlus shift.
+    perm_kinds, perm_rows, perm_labels, perm_shifts = [], [], [], []
+    for gid in range(len(pools.perms)):
+        gate = pools.perms.gate(gid)
+        if gate.dim != table.dim:
+            raise CacheError(
+                f"perm gate {gate.label!r} has dimension {gate.dim}, table has {table.dim}"
+            )
+        if isinstance(gate, XPlus):
+            perm_kinds.append(_PERM_XPLUS)
+            perm_shifts.append(gate.shift)
+        elif isinstance(gate, XPerm):
+            perm_kinds.append(_PERM_XPERM)
+            perm_shifts.append(-1)
+        else:
+            raise CacheError(f"cannot serialize perm-gate type {type(gate).__name__}")
+        perm_rows.append(list(gate.permutation()))
+        perm_labels.append(gate.label)
+    arrays["perm_kind"] = np.asarray(perm_kinds, dtype=np.int64)
+    arrays["perm_shift"] = np.asarray(perm_shifts, dtype=np.int64)
+    arrays["perm_rows"] = (
+        np.asarray(perm_rows, dtype=np.int64)
+        if perm_rows
+        else np.zeros((0, table.dim), dtype=np.int64)
+    )
+    arrays["perm_labels"] = np.asarray(perm_labels, dtype=np.str_)
+
+    # Dense-unitary pool: stacked matrices + labels.
+    matrices, unitary_labels = [], []
+    for gid in range(len(pools.unitaries)):
+        gate = pools.unitaries.gate(gid)
+        if not isinstance(gate, SingleQuditUnitary) or gate.dim != table.dim:
+            raise CacheError(f"cannot serialize unitary payload {gate!r}")
+        matrices.append(gate.matrix())
+        unitary_labels.append(gate.label)
+    arrays["unitary_matrices"] = (
+        np.stack(matrices) if matrices else np.zeros((0, table.dim, table.dim), dtype=complex)
+    )
+    arrays["unitary_labels"] = np.asarray(unitary_labels, dtype=np.str_)
+
+    # Predicate pool: kind, Value parameter, InSet members (ragged).
+    pred_kinds, pred_values, inset_rows = [], [], []
+    for pid in range(len(pools.preds)):
+        predicate = pools.preds.predicate(pid)
+        if isinstance(predicate, Value):
+            pred_kinds.append(_PRED_VALUE)
+            pred_values.append(predicate.value)
+            inset_rows.append([])
+        elif isinstance(predicate, Odd):
+            pred_kinds.append(_PRED_ODD)
+            pred_values.append(-1)
+            inset_rows.append([])
+        elif isinstance(predicate, EvenNonZero):
+            pred_kinds.append(_PRED_EVEN)
+            pred_values.append(-1)
+            inset_rows.append([])
+        elif isinstance(predicate, InSet):
+            pred_kinds.append(_PRED_INSET)
+            pred_values.append(-1)
+            # The raw member set, not .values(dim): an out-of-range InSet is
+            # representable in a table (the simulator rejects it at apply
+            # time) and must survive serialization unchanged.
+            inset_rows.append(sorted(predicate._values))
+        else:
+            raise CacheError(f"cannot serialize predicate type {type(predicate).__name__}")
+    arrays["pred_kind"] = np.asarray(pred_kinds, dtype=np.int64)
+    arrays["pred_value"] = np.asarray(pred_values, dtype=np.int64)
+    arrays["inset_flat"], arrays["inset_offsets"] = _ragged(inset_rows)
+
+    # Overflow-controls pool: ragged rows of (wire, predicate id) pairs.
+    extra_rows = [
+        [x for pair in pools.extras.entry(eid) for x in pair]
+        for eid in range(len(pools.extras))
+    ]
+    flat, offsets = _ragged(extra_rows)
+    arrays["extra_flat"] = flat.reshape(-1, 2)
+    arrays["extra_offsets"] = offsets // 2
+    return arrays
+
+
+def arrays_to_table(arrays) -> GateTable:
+    """Rebuild a :class:`GateTable` from :func:`table_to_arrays` output."""
+    try:
+        version = int(arrays["format_version"])
+    except KeyError:
+        raise CacheError("archive has no format_version field") from None
+    if version != FORMAT_VERSION:
+        raise CacheError(
+            f"archive format version {version} is not the supported {FORMAT_VERSION}"
+        )
+    try:
+        num_wires = int(arrays["num_wires"])
+        dim = int(arrays["dim"])
+        name = str(arrays["name"])
+        columns = [np.asarray(arrays[f"col_{column}"]) for column in COLUMNS]
+
+        pools = PoolSet()
+        perm_kinds = arrays["perm_kind"]
+        perm_shifts = arrays["perm_shift"]
+        perm_rows = arrays["perm_rows"]
+        perm_labels = arrays["perm_labels"]
+        for i in range(perm_kinds.shape[0]):
+            if int(perm_kinds[i]) == _PERM_XPLUS:
+                gate = XPlus(dim, int(perm_shifts[i]))
+            else:
+                gate = XPerm(
+                    tuple(int(x) for x in perm_rows[i]), label=str(perm_labels[i])
+                )
+            if tuple(gate.permutation()) != tuple(int(x) for x in perm_rows[i]):
+                raise CacheError(f"perm gate {i} decoded to a different permutation")
+            if pools.perms.intern(gate) != i:
+                raise CacheError(f"perm pool id {i} did not round-trip")
+
+        matrices = arrays["unitary_matrices"]
+        unitary_labels = arrays["unitary_labels"]
+        for i in range(matrices.shape[0]):
+            gate = SingleQuditUnitary(matrices[i], label=str(unitary_labels[i]), check=False)
+            if pools.unitaries.intern(gate) != i:
+                raise CacheError(f"unitary pool id {i} did not round-trip")
+
+        pred_kinds = arrays["pred_kind"]
+        pred_values = arrays["pred_value"]
+        inset_flat = arrays["inset_flat"]
+        inset_offsets = arrays["inset_offsets"]
+        for i in range(pred_kinds.shape[0]):
+            kind = int(pred_kinds[i])
+            if kind == _PRED_VALUE:
+                predicate = Value(int(pred_values[i]))
+            elif kind == _PRED_ODD:
+                predicate = Odd()
+            elif kind == _PRED_EVEN:
+                predicate = EvenNonZero()
+            elif kind == _PRED_INSET:
+                members = inset_flat[int(inset_offsets[i]) : int(inset_offsets[i + 1])]
+                predicate = InSet(frozenset(int(x) for x in members))
+            else:
+                raise CacheError(f"unknown predicate kind {kind}")
+            if pools.preds.intern(predicate) != i:
+                raise CacheError(f"predicate pool id {i} did not round-trip")
+
+        extra_flat = arrays["extra_flat"]
+        extra_offsets = arrays["extra_offsets"]
+        for i in range(extra_offsets.shape[0] - 1):
+            entry = tuple(
+                (int(w), int(p))
+                for w, p in extra_flat[int(extra_offsets[i]) : int(extra_offsets[i + 1])]
+            )
+            if pools.extras.intern(entry) != i:
+                raise CacheError(f"overflow pool id {i} did not round-trip")
+    except CacheError:
+        raise
+    except Exception as error:  # truncated / mistyped arrays
+        raise CacheError(f"malformed table archive: {type(error).__name__}: {error}") from error
+    return GateTable(num_wires, dim, columns, pools, name=name)
+
+
+def save_table(file, table: GateTable) -> None:
+    """Write a table to ``file`` (path or binary file object) as ``.npz``."""
+    np.savez_compressed(file, **table_to_arrays(table))
+
+
+def load_table(file) -> GateTable:
+    """Read a table written by :func:`save_table` (never unpickles)."""
+    try:
+        with np.load(file, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+    except CacheError:
+        raise
+    except Exception as error:
+        raise CacheError(f"unreadable table archive: {type(error).__name__}: {error}") from error
+    return arrays_to_table(arrays)

@@ -1,0 +1,124 @@
+"""Compile service: cache-aware synthesize-and-lower in one call.
+
+:func:`compile_lowered` is what the batch runner, the benchmarks and the
+CLI use: given ``(strategy, d, k)`` it produces the simulation-ready
+circuit (G-lowered for permutation circuits, the macro circuit otherwise),
+consulting a :class:`~repro.exec.cache.CompileCache` first and populating
+it on a miss.  The cache key covers the strategy, the scenario, the
+lowering engine, the pass-pipeline spec and the code-version salt — see
+:mod:`repro.exec.keys`.
+
+The lower-level opt-ins live on the public APIs themselves:
+``repro.synth.registry.synthesize(..., cache=...)`` caches the macro-level
+synthesis output, and ``repro.core.lowering.lower_to_g_gates(...,
+cache=..., cache_key=...)`` caches the lowered table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.lowering import lower_to_g_gates
+from repro.exec.cache import CacheEntry, CompileCache
+from repro.exec.keys import CODE_VERSION, cache_key
+from repro.qudit.circuit import QuditCircuit
+from repro.synth import registry
+
+
+@dataclass
+class CompileOutcome:
+    """One compile-service answer: the circuit plus provenance."""
+
+    key: str
+    circuit: QuditCircuit
+    strategy: str
+    dim: int
+    k: int
+    #: "memo" / "disk" on a cache hit, "built" on a miss.
+    source: str
+    seconds: float
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.source != "built"
+
+
+def lowered_key(
+    strategy: str,
+    dim: int,
+    k: int,
+    *,
+    engine: str = "table",
+    pipeline=None,
+    salt: Optional[str] = None,
+) -> str:
+    """The content address of the lowered form of ``strategy(d, k)``."""
+    return cache_key(
+        strategy, dim, k, stage="lowered", engine=engine, pipeline=pipeline, salt=salt
+    )
+
+
+def compile_lowered(
+    strategy: str,
+    dim: int,
+    k: int,
+    *,
+    cache: Optional[CompileCache] = None,
+    engine: str = "table",
+) -> CompileOutcome:
+    """Synthesise ``strategy(d, k)`` and lower it, through the cache.
+
+    On a hit neither synthesis nor lowering runs — the circuit is rebuilt
+    straight from the cached columnar table.  Non-permutation circuits
+    (unitary payloads) are cached at the macro level, since G-lowering does
+    not apply to them.
+    """
+    if strategy == "auto":
+        strategy = registry.auto_select(dim, k).strategy.name
+    salt = cache.salt if cache is not None else CODE_VERSION
+    key = lowered_key(strategy, dim, k, engine=engine, salt=salt)
+    start = time.perf_counter()
+    entry: Optional[CacheEntry] = cache.get(key) if cache is not None else None
+    if entry is not None:
+        circuit = QuditCircuit.from_table(entry.table)
+        return CompileOutcome(
+            key=key,
+            circuit=circuit,
+            strategy=strategy,
+            dim=dim,
+            k=k,
+            source=entry.source,
+            seconds=time.perf_counter() - start,
+            meta=dict(entry.meta),
+        )
+    result = registry.get(strategy).synthesize(dim, k)
+    circuit = result.circuit
+    if circuit.is_permutation:
+        circuit = lower_to_g_gates(circuit, engine=engine)
+    meta: Dict[str, object] = {
+        "strategy": strategy,
+        "d": dim,
+        "k": k,
+        "stage": "lowered" if circuit.is_g_circuit() else "macro",
+        "engine": engine,
+        "num_wires": circuit.num_wires,
+        "num_ops": circuit.num_ops(),
+        "controls": list(result.controls),
+        "target": result.target,
+        "ancillas": {str(w): kind.value for w, kind in result.ancillas.items()},
+    }
+    if cache is not None:
+        cache.put(key, circuit.to_table(), meta=meta)
+    return CompileOutcome(
+        key=key,
+        circuit=circuit,
+        strategy=strategy,
+        dim=dim,
+        k=k,
+        source="built",
+        seconds=time.perf_counter() - start,
+        meta=meta,
+    )

@@ -1,0 +1,407 @@
+"""Parallel workload runner: plan, dedupe, execute batches of requests.
+
+A *workload* is a JSON list of requests against the synthesis service::
+
+    {"requests": [
+        {"kind": "synthesize", "strategy": "mct", "d": 3, "k": 6},
+        {"kind": "simulate",  "strategy": "mct", "d": 3, "k": 5,
+         "states": [[0,0,0,0,0,1], [0,0,0,0,0,2]], "backend": "dense"},
+        {"kind": "estimate",  "strategy": "mct", "d": 5, "k": 100000}
+    ]}
+
+Execution has three stages:
+
+1. **plan** — every compile-bearing request (synthesize / simulate) is
+   mapped to its content address; requests sharing a key are deduplicated
+   into one compile task.
+2. **warm** — the unique compile tasks run (fanned out over a
+   ``multiprocessing`` pool when ``jobs > 1``), each worker writing into
+   the shared on-disk :class:`~repro.exec.cache.CompileCache` directory.
+3. **execute** — every request runs in order; compiles are now cache hits
+   (in-process memo within a worker, the shared directory across workers
+   and across whole runs).
+
+Simulate requests are batched: all listed basis states of one request
+evolve together through the batched backend kernels — classically (index
+propagation) for permutation circuits, as a
+:class:`~repro.sim.batch.BatchedStatevector` otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ReproError, WorkloadError
+from repro.exec.cache import CompileCache
+from repro.exec.keys import CODE_VERSION
+from repro.exec.service import compile_lowered, lowered_key
+
+_KINDS = ("synthesize", "simulate", "estimate")
+
+
+@dataclass(frozen=True)
+class WorkloadRequest:
+    """One request of a batch workload."""
+
+    kind: str
+    strategy: str
+    dim: int
+    k: int
+    #: Lowering engine for compile-bearing kinds.
+    engine: str = "table"
+    #: Simulation backend (simulate only).
+    backend: str = "dense"
+    #: Basis states to simulate, as digit rows (simulate only; default |0...0⟩).
+    states: Tuple[Tuple[int, ...], ...] = ()
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object], index: int) -> "WorkloadRequest":
+        if not isinstance(raw, dict):
+            raise WorkloadError(f"request {index} must be an object, got {type(raw).__name__}")
+        kind = str(raw.get("kind", ""))
+        if kind not in _KINDS:
+            raise WorkloadError(
+                f"request {index}: unknown kind {kind!r}; expected one of {list(_KINDS)}"
+            )
+        missing = [name for name in ("strategy", "d", "k") if name not in raw]
+        if missing:
+            raise WorkloadError(f"request {index}: missing field(s) {missing}")
+        unknown = set(raw) - {"kind", "strategy", "d", "k", "engine", "backend", "states"}
+        if unknown:
+            raise WorkloadError(f"request {index}: unknown field(s) {sorted(unknown)}")
+        try:
+            dim, k = int(raw["d"]), int(raw["k"])
+        except (TypeError, ValueError):
+            raise WorkloadError(f"request {index}: d and k must be integers") from None
+        states = raw.get("states", ())
+        try:
+            states = tuple(tuple(int(x) for x in row) for row in states)
+        except (TypeError, ValueError):
+            raise WorkloadError(
+                f"request {index}: states must be rows of digits"
+            ) from None
+        if states and kind != "simulate":
+            raise WorkloadError(f"request {index}: states only applies to simulate requests")
+        return cls(
+            kind=kind,
+            strategy=str(raw["strategy"]),
+            dim=dim,
+            k=k,
+            engine=str(raw.get("engine", "table")),
+            backend=str(raw.get("backend", "dense")),
+            states=states,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "kind": self.kind,
+            "strategy": self.strategy,
+            "d": self.dim,
+            "k": self.k,
+        }
+        if self.engine != "table":
+            out["engine"] = self.engine
+        if self.backend != "dense":
+            out["backend"] = self.backend
+        if self.states:
+            out["states"] = [list(row) for row in self.states]
+        return out
+
+    def compile_key(self, salt: str = CODE_VERSION) -> Optional[str]:
+        """The content address of the compile this request needs (or ``None``).
+
+        ``"auto"`` is resolved through the registry first — the key must
+        name the artifact that will actually be built, or the planner would
+        neither dedupe an ``auto`` request against an explicit one nor
+        against the key ``compile_lowered`` stores under.
+        """
+        if self.kind == "estimate":
+            return None
+        strategy = self.strategy
+        if strategy == "auto":
+            from repro.synth import registry
+
+            strategy = registry.auto_select(self.dim, self.k).strategy.name
+        return lowered_key(strategy, self.dim, self.k, engine=self.engine, salt=salt)
+
+
+@dataclass
+class WorkloadSpec:
+    """A parsed workload: an ordered list of requests."""
+
+    requests: List[WorkloadRequest] = field(default_factory=list)
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "WorkloadSpec":
+        if isinstance(raw, list):  # bare list shorthand
+            raw = {"requests": raw}
+        if not isinstance(raw, dict) or "requests" not in raw:
+            raise WorkloadError('a workload spec needs a "requests" list')
+        rows = raw["requests"]
+        if not isinstance(rows, list) or not rows:
+            raise WorkloadError("a workload needs at least one request")
+        return cls([WorkloadRequest.from_dict(row, i) for i, row in enumerate(rows)])
+
+    @classmethod
+    def from_json(cls, path: os.PathLike) -> "WorkloadSpec":
+        try:
+            raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as error:
+            raise WorkloadError(f"cannot read workload spec: {error}") from error
+        except ValueError as error:
+            raise WorkloadError(f"workload spec is not valid JSON: {error}") from error
+        return cls.from_dict(raw)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"requests": [request.to_dict() for request in self.requests]}
+
+
+@dataclass
+class WorkloadPlan:
+    """The deduplicated compile schedule of a workload."""
+
+    #: key -> the first request needing that compile (its parameters drive it).
+    compiles: Dict[str, WorkloadRequest]
+    #: Per request: the compile key it consumes (``None`` for estimate).
+    request_keys: List[Optional[str]]
+
+    @property
+    def dedup_savings(self) -> int:
+        """How many compiles the dedup avoided."""
+        return sum(1 for key in self.request_keys if key is not None) - len(self.compiles)
+
+
+def plan_workload(spec: WorkloadSpec, *, salt: str = CODE_VERSION) -> WorkloadPlan:
+    """Group the workload's requests by compile key."""
+    compiles: Dict[str, WorkloadRequest] = {}
+    request_keys: List[Optional[str]] = []
+    for request in spec.requests:
+        key = request.compile_key(salt)
+        request_keys.append(key)
+        if key is not None and key not in compiles:
+            compiles[key] = request
+    return WorkloadPlan(compiles=compiles, request_keys=request_keys)
+
+
+# ----------------------------------------------------------------------
+# Single-request execution (shared by the serial and pooled paths)
+# ----------------------------------------------------------------------
+def execute_request(request: WorkloadRequest, cache: Optional[CompileCache]) -> Dict[str, object]:
+    """Run one request against (and through) the compile cache."""
+    start = time.perf_counter()
+    row: Dict[str, object] = dict(request.to_dict())
+    try:
+        if request.kind == "estimate":
+            from repro.synth import registry
+
+            resources = registry.estimate(request.strategy, request.dim, request.k)
+            row.update(
+                g_gates=int(resources.g_gates),
+                two_qudit_gates=int(resources.two_qudit_gates),
+                num_wires=int(resources.num_wires),
+                cache="n/a",
+            )
+        else:
+            outcome = compile_lowered(
+                request.strategy,
+                request.dim,
+                request.k,
+                cache=cache,
+                engine=request.engine,
+            )
+            circuit = outcome.circuit
+            row.update(
+                strategy=outcome.strategy,  # "auto" resolved to the winner
+                gates=circuit.num_ops(),
+                num_wires=circuit.num_wires,
+                cache=outcome.source,
+                compile_seconds=round(outcome.seconds, 6),
+            )
+            if request.kind == "simulate":
+                row["outputs"] = _simulate(request, circuit)
+        row["ok"] = True
+    except ReproError as error:
+        row["ok"] = False
+        row["error"] = f"{type(error).__name__}: {error}"
+    row["seconds"] = round(time.perf_counter() - start, 6)
+    return row
+
+
+def _simulate(request: WorkloadRequest, circuit) -> List[str]:
+    """Evolve the request's basis states (default ``|0...0⟩``) as one batch."""
+    from repro.sim import BatchedStatevector, get_backend
+    from repro.utils.indexing import digits_to_index, indices_to_digits
+
+    rows = request.states or ((0,) * circuit.num_wires,)
+    for i, digits in enumerate(rows):
+        if len(digits) != circuit.num_wires:
+            raise WorkloadError(
+                f"simulate state {i} has {len(digits)} digits, circuit has "
+                f"{circuit.num_wires} wires"
+            )
+        bad = [x for x in digits if not 0 <= x < request.dim]
+        if bad:
+            raise WorkloadError(
+                f"simulate state {i} digit {bad[0]} out of range for d={request.dim}"
+            )
+    if circuit.is_permutation:
+        # Classical batched path: propagate the B flat indices only.
+        indices = [digits_to_index(digits, request.dim) for digits in rows]
+        images = circuit.to_table().apply_to_indices(indices)
+        digits = indices_to_digits(images, request.dim, circuit.num_wires)
+        return ["".join(str(int(x)) for x in row) for row in digits]
+    get_backend(request.backend)  # fail fast on unknown engines
+    batch = BatchedStatevector.from_basis_states(
+        list(rows), request.dim, backend=request.backend
+    )
+    batch.apply_circuit(circuit)
+    return ["".join(map(str, digits)) for digits in batch.most_probable()]
+
+
+# ----------------------------------------------------------------------
+# Multiprocessing plumbing
+# ----------------------------------------------------------------------
+_WORKER_CACHE: Optional[CompileCache] = None
+
+
+def _init_worker(cache_dir: Optional[str], salt: str) -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = CompileCache(cache_dir, salt=salt)
+
+
+def _worker_compile(task: Tuple[str, int, int, str]) -> Dict[str, object]:
+    strategy, dim, k, engine = task
+    try:
+        outcome = compile_lowered(strategy, dim, k, cache=_WORKER_CACHE, engine=engine)
+    except ReproError as error:  # the owning request reports the failure
+        return {"cache": "error", "error": f"{type(error).__name__}: {error}"}
+    return {"key": outcome.key, "cache": outcome.source, "seconds": outcome.seconds}
+
+
+def _worker_execute(raw: Dict[str, object]) -> Dict[str, object]:
+    return execute_request(WorkloadRequest.from_dict(raw, 0), _WORKER_CACHE)
+
+
+@dataclass
+class WorkloadReport:
+    """JSON-able outcome of one workload run."""
+
+    rows: List[Dict[str, object]]
+    jobs: int
+    seconds: float
+    unique_compiles: int
+    dedup_savings: int
+    warm_hits: int
+    cache_stats: Dict[str, int]
+
+    @property
+    def ok(self) -> bool:
+        return all(row.get("ok") for row in self.rows)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "jobs": self.jobs,
+            "seconds": round(self.seconds, 4),
+            "unique_compiles": self.unique_compiles,
+            "dedup_savings": self.dedup_savings,
+            "warm_hits": self.warm_hits,
+            "ok": self.ok,
+            "cache_stats": dict(self.cache_stats),
+            "requests": self.rows,
+        }
+
+
+def run_workload(
+    spec: WorkloadSpec,
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[os.PathLike] = None,
+    cache: Optional[CompileCache] = None,
+    salt: str = CODE_VERSION,
+) -> WorkloadReport:
+    """Plan, warm and execute a workload; returns the per-request report.
+
+    ``jobs > 1`` fans the deduplicated compile tasks — and then the
+    requests — over a ``fork`` multiprocessing pool whose workers each hold
+    their own :class:`CompileCache` on the shared ``cache_dir`` (in-process
+    memo per worker, artifacts shared through the directory).  Platforms
+    without ``fork`` fall back to serial execution.
+    """
+    if cache is None:
+        cache = CompileCache(cache_dir, salt=salt)
+    plan = plan_workload(spec, salt=cache.salt)
+    start = time.perf_counter()
+    warm_hits = 0
+
+    use_pool = jobs > 1 and len(spec.requests) > 1
+    if use_pool:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-posix platforms
+            use_pool = False
+
+    if use_pool and cache.cache_dir is None:
+        raise WorkloadError("run_workload(jobs>1) needs a cache_dir to share artifacts")
+
+    if not use_pool:
+        for key, request in plan.compiles.items():
+            try:
+                outcome = compile_lowered(
+                    request.strategy, request.dim, request.k, cache=cache, engine=request.engine
+                )
+            except ReproError:
+                continue  # the owning request reports the failure below
+            if outcome.cache_hit:
+                warm_hits += 1
+        rows = [execute_request(request, cache) for request in spec.requests]
+    else:
+        tasks = [
+            (request.strategy, request.dim, request.k, request.engine)
+            for request in plan.compiles.values()
+        ]
+        # Sized for the request phase — dedup can shrink the compile phase
+        # to one task, but the (possibly many) requests still fan out.
+        with context.Pool(
+            processes=min(jobs, len(spec.requests)),
+            initializer=_init_worker,
+            initargs=(str(cache.cache_dir), cache.salt),
+        ) as pool:
+            warm = pool.map(_worker_compile, tasks, chunksize=1)
+            warm_hits = sum(1 for item in warm if item["cache"] not in ("built", "error"))
+            rows = pool.map(
+                _worker_execute,
+                [request.to_dict() for request in spec.requests],
+                chunksize=1,
+            )
+
+    if use_pool:
+        # The parent cache saw no traffic — every get/put happened inside
+        # the workers' _WORKER_CACHE instances.  Reconstruct honest counters
+        # from the per-phase provenance instead of reporting zeros.
+        sources = [item["cache"] for item in warm] + [
+            str(row.get("cache", "")) for row in rows
+        ]
+        cache_stats = {
+            "memo_hits": sources.count("memo"),
+            "disk_hits": sources.count("disk"),
+            "misses": sources.count("built"),
+            "puts": sources.count("built"),
+            "evictions": 0,
+        }
+    else:
+        cache_stats = cache.stats.as_dict()
+    return WorkloadReport(
+        rows=rows,
+        jobs=jobs if use_pool else 1,
+        seconds=time.perf_counter() - start,
+        unique_compiles=len(plan.compiles),
+        dedup_savings=plan.dedup_savings,
+        warm_hits=warm_hits,
+        cache_stats=cache_stats,
+    )

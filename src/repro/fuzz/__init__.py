@@ -40,6 +40,7 @@ from repro.fuzz.oracles import (
     Divergence,
     FuzzReport,
     check_backends,
+    check_cache_serialization,
     check_estimator,
     check_inverse_identity,
     check_lowering_engines,
@@ -58,6 +59,7 @@ __all__ = [
     "FuzzReport",
     "SynthesisInstance",
     "check_backends",
+    "check_cache_serialization",
     "check_estimator",
     "check_inverse_identity",
     "check_lowering_engines",

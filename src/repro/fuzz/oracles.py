@@ -71,6 +71,7 @@ from repro.fuzz.generators import (
 #: Registry of oracle names (the CLI's ``--oracle`` accepts any subset).
 ORACLE_NAMES: Tuple[str, ...] = (
     "round-trip",
+    "cache",
     "backends",
     "inverse",
     "passes",
@@ -150,6 +151,72 @@ def check_table_round_trip(circuit: QuditCircuit) -> Optional[str]:
     )
     if inverse_difference:
         return f"inverse kernel: {inverse_difference}"
+    return None
+
+
+def check_cache_serialization(circuit: QuditCircuit) -> Optional[str]:
+    """Compile-cache oracle: a serialized-and-reloaded table equals a fresh one.
+
+    Mirrors what the persistent cache does (``GateTable`` → ``.npz`` bytes →
+    ``GateTable``) and compares the reloaded table against the freshly built
+    one: identical columns, gate-for-gate identical ops, agreeing column
+    kernels and identical simulation behaviour.
+    """
+    import io
+
+    from repro.exec.serialize import load_table, save_table
+
+    fresh = _plain_copy(circuit).to_table()
+    buffer = io.BytesIO()
+    save_table(buffer, fresh)
+    buffer.seek(0)
+    reloaded = load_table(buffer)
+    if (reloaded.num_wires, reloaded.dim) != (fresh.num_wires, fresh.dim):
+        return (
+            f"reloaded shape ({reloaded.num_wires}, {reloaded.dim}) vs "
+            f"({fresh.num_wires}, {fresh.dim})"
+        )
+    for name, fresh_col, reloaded_col in zip(
+        ("opcode", "target", "wire_a", "wire_b", "pred_a", "pred_b", "payload", "extra"),
+        fresh.columns,
+        reloaded.columns,
+    ):
+        if not np.array_equal(fresh_col, reloaded_col):
+            first = int(np.nonzero(fresh_col != reloaded_col)[0][0])
+            return (
+                f"column {name} changed at row {first}: "
+                f"{int(fresh_col[first])} -> {int(reloaded_col[first])}"
+            )
+    difference = describe_op_difference(fresh.to_circuit(), reloaded.to_circuit())
+    if difference:
+        return f"deserialized ops differ: {difference}"
+    kernels: Sequence[Tuple[str, Callable[[object], object]]] = (
+        ("num_ops", lambda t: t.num_ops()),
+        ("depth", lambda t: t.depth()),
+        ("two_qudit_count", lambda t: t.two_qudit_count()),
+        ("g_gate_count", lambda t: t.g_gate_count()),
+        ("label_histogram", lambda t: t.label_histogram()),
+        ("used_wires", lambda t: t.used_wires()),
+        ("is_permutation", lambda t: t.is_permutation),
+    )
+    for name, kernel in kernels:
+        fresh_value = kernel(fresh)
+        reloaded_value = kernel(reloaded)
+        if fresh_value != reloaded_value:
+            return f"kernel {name}: fresh {fresh_value!r} vs reloaded {reloaded_value!r}"
+    if fresh.is_permutation:
+        if not np.array_equal(
+            fresh.permutation_index_table(), reloaded.permutation_index_table()
+        ):
+            return "deserialized table simulates differently (gather tables differ)"
+    else:
+        data = _random_state(circuit.dim, circuit.num_wires, 7)
+        dense = get_backend("dense")
+        fresh_out = dense.apply_table(data.copy(), fresh)
+        reloaded_out = dense.apply_table(data.copy(), reloaded)
+        if not np.allclose(fresh_out, reloaded_out, atol=1e-12):
+            deviation = float(np.max(np.abs(fresh_out - reloaded_out)))
+            return f"deserialized table simulates differently (deviation {deviation:.3e})"
     return None
 
 
@@ -458,6 +525,8 @@ def fuzz_case(case_seed: int, enabled: Sequence[str], report: FuzzReport) -> Lis
     general = random_circuit(rng, **scenario)
     run("round-trip", general, lambda: check_table_round_trip(general),
         recheck=check_table_round_trip)
+    run("cache", general, lambda: check_cache_serialization(general),
+        recheck=check_cache_serialization)
     run("backends", general, lambda: check_backends(general, state_seed),
         recheck=lambda c: check_backends(c, state_seed))
     run("inverse", general, lambda: check_inverse_identity(general, state_seed),
@@ -556,6 +625,7 @@ __all__ = [
     "Divergence",
     "FuzzReport",
     "check_backends",
+    "check_cache_serialization",
     "check_estimator",
     "check_inverse_identity",
     "check_lowering_engines",

@@ -496,9 +496,39 @@ class GateTable:
             raise GateError(
                 "circuit contains non-permutation gates; use the statevector simulator"
             )
+        cached = self._cache.get("perm_index_table")
+        if cached is None:
+            ops, inverse = self.unique_ops()
+            gathers = [op.permutation_table(self.dim, self.num_wires) for op in ops]
+            acc = np.arange(self.dim**self.num_wires)
+            for u in inverse.tolist():
+                acc = gathers[u][acc]
+            acc.setflags(write=False)
+            cached = acc
+            self._cache["perm_index_table"] = cached
+        return cached
+
+    def apply_to_indices(self, indices) -> np.ndarray:
+        """Images of a *batch* of flat basis indices under the whole table.
+
+        The batched twin of :meth:`permutation_index_table`: instead of
+        composing the row gathers over the full ``d^n`` basis, only the
+        ``B`` requested indices are propagated (one length-``B`` gather per
+        row, reusing the per-distinct-row tables) — the classical
+        simulation path of the batch executor.
+        """
+        if not self.is_permutation:
+            raise GateError(
+                "circuit contains non-permutation gates; use the statevector simulator"
+            )
+        acc = np.asarray(indices, dtype=np.int64)
+        size = self.dim**self.num_wires
+        if acc.size and (acc.min() < 0 or acc.max() >= size):
+            raise WireError(
+                f"basis index out of range for {self.num_wires} wires of dimension {self.dim}"
+            )
         ops, inverse = self.unique_ops()
         gathers = [op.permutation_table(self.dim, self.num_wires) for op in ops]
-        acc = np.arange(self.dim**self.num_wires)
         for u in inverse.tolist():
             acc = gathers[u][acc]
         return acc

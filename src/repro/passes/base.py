@@ -38,6 +38,16 @@ class Pass:
         """
         return self.run(table.to_circuit()).to_table()
 
+    def spec(self) -> dict:
+        """Canonical JSON-able description of this pass and its parameters.
+
+        The compile cache (:mod:`repro.exec`) hashes pipeline specs into
+        cache keys, so the spec must be stable across processes and must
+        change whenever a parameter that affects the output changes.
+        Parameterised passes override this to include their knobs.
+        """
+        return {"pass": self.name}
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"
 
@@ -90,6 +100,14 @@ class PassPipeline:
             current = step.run_table(current)
             self.history.append(PassRecord(step.name, before, current.num_ops()))
         return current
+
+    def spec(self) -> dict:
+        """Canonical JSON-able description of the whole pipeline.
+
+        The concatenation of every pass spec in order; hashed by the compile
+        cache to distinguish pipelines that would produce different output.
+        """
+        return {"pipeline": self.name, "passes": [step.spec() for step in self.passes]}
 
     def __iter__(self) -> Iterator[Pass]:
         return iter(self.passes)

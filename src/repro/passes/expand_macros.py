@@ -53,6 +53,9 @@ class ExpandMacros(Pass):
         #: Safety bound on the number of rewriting sweeps.
         self.max_sweeps = max_sweeps
 
+    def spec(self) -> dict:
+        return {"pass": self.name, "max_sweeps": self.max_sweeps}
+
     def run(self, circuit: QuditCircuit) -> QuditCircuit:
         current = circuit
         for _ in range(self.max_sweeps):

@@ -137,12 +137,60 @@ def synthesize(
     k: int,
     *,
     budget: Optional[AncillaBudget] = None,
+    cache=None,
     **kwargs,
 ) -> SynthesisResult:
-    """Synthesise through the registry; ``name="auto"`` dispatches by cost."""
+    """Synthesise through the registry; ``name="auto"`` dispatches by cost.
+
+    ``cache=`` (a :class:`repro.exec.cache.CompileCache`) opts into the
+    persistent compile cache for the macro-level synthesis output: the
+    circuit is stored as its columnar table under a content address over
+    ``(strategy, d, k)`` plus the cache's code-version salt, and the wire
+    roles (controls / target / ancillas) ride along in the metadata sidecar
+    so the :class:`SynthesisResult` round-trips whole.  Requests carrying
+    extra ``**kwargs`` (e.g. explicit unitary payloads) never touch the
+    cache — their output is not determined by ``(strategy, d, k)`` alone.
+    """
     if name == "auto":
-        return auto_select(dim, k, budget=budget).strategy.synthesize(dim, k, **kwargs)
-    return get(name).synthesize(dim, k, **kwargs)
+        name = auto_select(dim, k, budget=budget).strategy.name
+    strategy = get(name)
+    if cache is None or kwargs:
+        return strategy.synthesize(dim, k, **kwargs)
+
+    from repro.exec.keys import cache_key
+    from repro.qudit.ancilla import AncillaKind
+    from repro.qudit.circuit import QuditCircuit
+
+    key = cache_key(name, dim, k, stage="synth", engine="macro", salt=cache.salt)
+    entry = cache.get(key)
+    if entry is not None:
+        meta = entry.meta
+        target = meta.get("target")
+        return SynthesisResult(
+            circuit=QuditCircuit.from_table(entry.table),
+            controls=tuple(meta.get("controls", ())),
+            target=None if target is None else int(target),
+            ancillas={
+                int(w): AncillaKind(kind) for w, kind in meta.get("ancillas", {}).items()
+            },
+            notes=str(meta.get("notes", "")),
+        )
+    result = strategy.synthesize(dim, k)
+    cache.put(
+        key,
+        result.circuit.to_table(),
+        meta={
+            "strategy": name,
+            "d": dim,
+            "k": k,
+            "stage": "synth",
+            "controls": list(result.controls),
+            "target": result.target,
+            "ancillas": {str(w): kind.value for w, kind in result.ancillas.items()},
+            "notes": result.notes,
+        },
+    )
+    return result
 
 
 def estimate(name: str, dim: int, k: int) -> Resources:

@@ -1,0 +1,346 @@
+"""The persistent compile cache: keys, serialization, store, wiring.
+
+Covers the PR-5 satellite contract property-style:
+
+* ``GateTable`` → ``.npz`` → ``GateTable`` round-trips preserve ops, labels,
+  counts, depth and simulation results over randomized fuzz circuits;
+* cache keys are stable across processes, but change when the pipeline
+  spec or the code-version salt changes;
+* the on-disk store is LRU-bounded, atomic, and corruption-safe;
+* the ``cache=`` opt-ins on ``synthesize`` / ``lower_to_g_gates`` skip
+  recompilation and reproduce identical circuits.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import QuditCircuit, lower_to_g_gates, synthesize_mct
+from repro.exceptions import CacheError, SynthesisError
+from repro.exec import (
+    CODE_VERSION,
+    CompileCache,
+    cache_key,
+    compile_lowered,
+    load_table,
+    lowered_key,
+    pipeline_spec,
+    save_table,
+)
+from repro.fuzz import describe_op_difference, random_circuit
+from repro.passes import (
+    CancelAdjacentInverses,
+    DropIdentities,
+    ExpandMacros,
+    PassPipeline,
+    default_lowering_pipeline,
+)
+from repro.sim.permutation import permutation_index_table
+from repro.synth import registry
+
+
+# ----------------------------------------------------------------------
+# Serialization round trips (property-style over fuzz circuits)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("dim", [3, 4])
+def test_npz_round_trip_preserves_everything(tmp_path, seed, dim):
+    circuit = random_circuit(seed, num_wires=4, dim=dim, num_ops=24, max_controls=3)
+    table = circuit.to_table()
+    path = tmp_path / "table.npz"
+    save_table(path, table)
+    reloaded = load_table(path)
+
+    assert (reloaded.num_wires, reloaded.dim, reloaded.name) == (
+        table.num_wires,
+        table.dim,
+        table.name,
+    )
+    for original, restored in zip(table.columns, reloaded.columns):
+        assert np.array_equal(original, restored)
+    assert describe_op_difference(circuit, reloaded.to_circuit()) is None
+    assert reloaded.label_histogram() == circuit.label_histogram()
+    assert reloaded.depth() == circuit.depth()
+    assert reloaded.two_qudit_count() == circuit.two_qudit_count()
+    assert reloaded.g_gate_count() == circuit.g_gate_count()
+    if table.is_permutation:
+        assert np.array_equal(
+            reloaded.permutation_index_table(), table.permutation_index_table()
+        )
+
+
+def test_round_trip_preserves_simulation_of_lowered_circuit(tmp_path):
+    lowered = lower_to_g_gates(synthesize_mct(3, 4).circuit)
+    path = tmp_path / "lowered.npz"
+    save_table(path, lowered.to_table())
+    reloaded = load_table(path)
+    assert np.array_equal(
+        reloaded.permutation_index_table(), permutation_index_table(lowered)
+    )
+
+
+def test_load_rejects_garbage_and_wrong_version(tmp_path):
+    bad = tmp_path / "bad.npz"
+    bad.write_bytes(b"not an archive at all")
+    with pytest.raises(CacheError):
+        load_table(bad)
+    # A valid archive with a future format version must be refused, not guessed.
+    from repro.exec.serialize import table_to_arrays
+
+    arrays = table_to_arrays(synthesize_mct(3, 2).circuit.to_table())
+    arrays["format_version"] = np.int64(999)
+    versioned = tmp_path / "versioned.npz"
+    np.savez_compressed(versioned, **arrays)
+    with pytest.raises(CacheError):
+        load_table(versioned)
+
+
+# ----------------------------------------------------------------------
+# Cache keys
+# ----------------------------------------------------------------------
+def test_cache_key_is_stable_across_processes():
+    here = cache_key("mct", 3, 6, pipeline=default_lowering_pipeline())
+    script = (
+        "from repro.exec import cache_key\n"
+        "from repro.passes import default_lowering_pipeline\n"
+        "print(cache_key('mct', 3, 6, pipeline=default_lowering_pipeline()))\n"
+    )
+    src = Path(__file__).resolve().parent.parent / "src"
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={"PYTHONPATH": str(src), "PYTHONHASHSEED": "12345", "PATH": "/usr/bin:/bin"},
+    )
+    assert out.stdout.strip() == here
+    assert len(here) == 64 and set(here) <= set("0123456789abcdef")
+
+
+def test_cache_key_changes_with_every_component():
+    base = cache_key("mct", 3, 6)
+    assert cache_key("mct", 3, 7) != base
+    assert cache_key("mct", 4, 6) != base
+    assert cache_key("mct-odd", 3, 6) != base
+    assert cache_key("mct", 3, 6, engine="object") != base
+    assert cache_key("mct", 3, 6, stage="synth") != base
+    assert cache_key("mct", 3, 6, salt="some-other-code-version") != base
+    assert cache_key("mct", 3, 6, salt=CODE_VERSION) == base
+
+
+def test_cache_key_sensitive_to_pipeline_spec():
+    plain = cache_key("mct", 3, 6, pipeline=None)
+    default = cache_key("mct", 3, 6, pipeline=default_lowering_pipeline())
+    other_sweeps = cache_key(
+        "mct",
+        3,
+        6,
+        pipeline=PassPipeline(
+            [
+                DropIdentities(),
+                ExpandMacros(max_sweeps=7),
+                CancelAdjacentInverses(),
+            ],
+            name="lower-to-g",
+        ),
+    )
+    reordered = cache_key(
+        "mct",
+        3,
+        6,
+        pipeline=PassPipeline(
+            [
+                CancelAdjacentInverses(),
+                ExpandMacros(max_sweeps=7),
+                DropIdentities(),
+            ],
+            name="lower-to-g",
+        ),
+    )
+    assert len({plain, default, other_sweeps, reordered}) == 4
+    # Same pipeline built twice -> same spec -> same key.
+    assert cache_key("mct", 3, 6, pipeline=default_lowering_pipeline()) == default
+    spec = pipeline_spec(default_lowering_pipeline())
+    assert spec == json.loads(json.dumps(spec))  # JSON-able and self-equal
+
+
+# ----------------------------------------------------------------------
+# The store: memo + disk + LRU + corruption
+# ----------------------------------------------------------------------
+def test_cache_get_put_layers(tmp_path):
+    cache = CompileCache(tmp_path)
+    key = lowered_key("mct", 3, 3)
+    assert cache.get(key) is None
+    table = lower_to_g_gates(synthesize_mct(3, 3).circuit).to_table()
+    cache.put(key, table, meta={"d": 3, "k": 3})
+    assert key in cache
+    assert cache.get(key).source == "memo"
+    cache.clear_memo()
+    entry = cache.get(key)
+    assert entry.source == "disk"
+    assert entry.meta == {"d": 3, "k": 3}
+    assert cache.get(key).source == "memo"  # promoted back
+    stats = cache.stats
+    assert (stats.misses, stats.puts, stats.disk_hits, stats.memo_hits) == (1, 1, 1, 2)
+
+
+def test_cache_rejects_malformed_keys(tmp_path):
+    cache = CompileCache(tmp_path)
+    with pytest.raises(CacheError):
+        cache.get("../../etc/passwd")
+    with pytest.raises(CacheError):
+        cache.put("UPPER", synthesize_mct(3, 2).circuit.to_table())
+
+
+def test_corrupt_disk_entry_is_a_miss_and_gets_dropped(tmp_path):
+    cache = CompileCache(tmp_path)
+    key = lowered_key("mct", 3, 2)
+    cache.put(key, lower_to_g_gates(synthesize_mct(3, 2).circuit).to_table())
+    cache.clear_memo()
+    (tmp_path / f"{key}.npz").write_bytes(b"\x00corrupted")
+    assert cache.get(key) is None
+    assert not (tmp_path / f"{key}.npz").exists()
+
+
+def test_missing_meta_sidecar_is_a_miss_never_empty_roles(tmp_path):
+    # The sidecar is written before the npz; an npz without one is a
+    # corrupted entry and must be dropped, not served with empty metadata.
+    cache = CompileCache(tmp_path)
+    key = lowered_key("mct", 3, 2)
+    cache.put(key, synthesize_mct(3, 2).circuit.to_table(), meta={"controls": [0, 1]})
+    cache.clear_memo()
+    (tmp_path / f"{key}.json").unlink()
+    assert cache.get(key) is None
+    assert not (tmp_path / f"{key}.npz").exists()
+
+
+def test_orphan_meta_sidecar_is_cleaned_on_get(tmp_path):
+    # A crash between the sidecar write and the npz write leaves an orphan
+    # json; the next lookup treats it as a miss and removes it.
+    cache = CompileCache(tmp_path)
+    key = lowered_key("mct", 3, 2)
+    (tmp_path / f"{key}.json").write_text("{}", encoding="utf-8")
+    assert cache.get(key) is None
+    assert not (tmp_path / f"{key}.json").exists()
+
+
+def test_disk_lru_eviction_bounded_and_touch_on_get(tmp_path):
+    small = lower_to_g_gates(synthesize_mct(3, 2).circuit).to_table()
+    probe = CompileCache(tmp_path / "probe")
+    probe.put("aa", small)
+    entry_bytes = probe.disk_bytes()
+    # Budget for ~3 entries; insert 6 and keep touching the first.
+    cache = CompileCache(tmp_path / "lru", max_disk_bytes=int(entry_bytes * 3.5))
+    keys = [f"{i:02x}" for i in range(6)]
+    import os
+    import time as time_module
+
+    for i, key in enumerate(keys):
+        cache.put(key, small)
+        # mtime resolution can swallow sub-ms ordering; space the clock out.
+        past = time_module.time() - (len(keys) - i) * 10
+        os.utime(tmp_path / "lru" / f"{key}.npz", (past, past))
+        cache.get(keys[0])  # refresh the first entry's mtime on every round
+        now = time_module.time()
+        os.utime(tmp_path / "lru" / f"{keys[0]}.npz", (now, now))
+        cache._evict_over_budget()
+    on_disk = {path.stem for path in (tmp_path / "lru").glob("*.npz")}
+    assert keys[0] in on_disk  # the hot entry survived
+    assert len(on_disk) <= 4
+    assert cache.stats.evictions >= 2
+    assert cache.disk_bytes() <= int(entry_bytes * 3.5)
+
+
+def test_memo_only_cache_without_directory():
+    cache = CompileCache(None)
+    key = lowered_key("mct", 3, 2)
+    assert cache.get(key) is None
+    cache.put(key, synthesize_mct(3, 2).circuit.to_table())
+    assert cache.get(key).source == "memo"
+    cache.clear_memo()
+    assert cache.get(key) is None  # nothing persisted
+
+
+# ----------------------------------------------------------------------
+# Wiring: synthesize / lower_to_g_gates / compile_lowered
+# ----------------------------------------------------------------------
+def test_registry_synthesize_cache_round_trips_result(tmp_path):
+    cache = CompileCache(tmp_path)
+    first = registry.synthesize("mct", 4, 3, cache=cache)
+    assert cache.stats.puts == 1
+    cache.clear_memo()
+    second = registry.synthesize("mct", 4, 3, cache=cache)
+    assert cache.stats.disk_hits == 1
+    assert describe_op_difference(first.circuit, second.circuit) is None
+    assert second.controls == first.controls
+    assert second.target == first.target
+    assert second.ancillas == first.ancillas
+    third = registry.synthesize("mct", 4, 3, cache=cache)
+    assert cache.stats.memo_hits >= 1
+    assert describe_op_difference(first.circuit, third.circuit) is None
+
+
+def test_lower_to_g_gates_cache_opt_in(tmp_path):
+    cache = CompileCache(tmp_path)
+    circuit = synthesize_mct(3, 4).circuit
+    key = lowered_key("mct", 3, 4)
+    cold = lower_to_g_gates(circuit, cache=cache, cache_key=key)
+    cache.clear_memo()
+    warm = lower_to_g_gates(circuit, cache=cache, cache_key=key)
+    assert cache.stats.disk_hits == 1
+    assert describe_op_difference(cold, warm) is None
+    with pytest.raises(SynthesisError):
+        lower_to_g_gates(circuit, cache=cache)  # cache without cache_key
+
+
+def test_compile_lowered_hits_skip_synthesis(tmp_path, monkeypatch):
+    cache = CompileCache(tmp_path)
+    cold = compile_lowered("mct", 3, 5, cache=cache)
+    assert cold.source == "built" and not cold.cache_hit
+    # Any further synthesis attempt is an error: warm paths must not build.
+    strategy = registry.get("mct")
+    def exploding(*args, **kwargs):
+        raise AssertionError("warm cache hit must not re-synthesize")
+    monkeypatch.setattr(strategy, "synthesize", exploding)
+    warm = compile_lowered("mct", 3, 5, cache=cache)
+    assert warm.source == "memo" and warm.cache_hit
+    cache.clear_memo()
+    disk = compile_lowered("mct", 3, 5, cache=cache)
+    assert disk.source == "disk"
+    assert describe_op_difference(cold.circuit, disk.circuit) is None
+    assert np.array_equal(
+        permutation_index_table(cold.circuit), permutation_index_table(disk.circuit)
+    )
+
+
+def test_compile_lowered_salt_partitions_artifacts(tmp_path):
+    cold = compile_lowered("mct", 3, 3, cache=CompileCache(tmp_path, salt="salt-a"))
+    other = compile_lowered("mct", 3, 3, cache=CompileCache(tmp_path, salt="salt-b"))
+    assert cold.source == other.source == "built"
+    assert cold.key != other.key
+    warm = compile_lowered("mct", 3, 3, cache=CompileCache(tmp_path, salt="salt-a"))
+    assert warm.source == "disk" and warm.key == cold.key
+
+
+def test_compile_lowered_handles_unitary_payload_strategies(tmp_path):
+    cache = CompileCache(tmp_path)
+    cold = compile_lowered("mcu-exponential", 3, 2, cache=cache)
+    assert not cold.circuit.is_permutation  # cached at the macro level
+    cache.clear_memo()
+    warm = compile_lowered("mcu-exponential", 3, 2, cache=cache)
+    assert warm.source == "disk"
+    assert describe_op_difference(cold.circuit, warm.circuit) is None
+
+
+def test_cached_circuit_is_table_backed():
+    cache = CompileCache(None)
+    compile_lowered("mct", 3, 3, cache=cache)
+    warm = compile_lowered("mct", 3, 3, cache=cache)
+    assert isinstance(warm.circuit, QuditCircuit)
+    assert warm.circuit.cached_table is not None  # column kernels stay live

@@ -25,6 +25,18 @@ def test_seeded_smoke_block_stays_clean():
     assert report.ok, json.dumps(report.to_json(), indent=2, ensure_ascii=False)
 
 
+def test_cache_oracle_seeded_block_stays_clean():
+    """Seeds 0–11, cache oracle only: serialize→deserialize must stay lossless.
+
+    Pins the PR-5 compile-cache serialization against the fuzz generator's
+    full op/predicate mix (perm gates, XPlus shifts, dense unitaries, star
+    macros, Value/Odd/EvenNonZero/InSet controls, >2-control overflow rows).
+    """
+    report = fuzz_run(seed=0, max_cases=12, oracles=["cache"])
+    assert report.ok, json.dumps(report.to_json(), indent=2, ensure_ascii=False)
+    assert report.oracle_runs == {"cache": 12}
+
+
 def test_single_case_replay_matches_report_contract():
     """A case replays from its seed alone (the CI reproduction recipe)."""
     report = FuzzReport(seed=17)

@@ -1,0 +1,253 @@
+"""The parallel workload runner and the ``batch`` / ``simulate`` CLI paths."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.exceptions import WorkloadError
+from repro.exec import (
+    CompileCache,
+    WorkloadRequest,
+    WorkloadSpec,
+    plan_workload,
+    run_workload,
+)
+
+SPEC = {
+    "requests": [
+        {"kind": "synthesize", "strategy": "mct", "d": 3, "k": 4},
+        {"kind": "synthesize", "strategy": "mct", "d": 3, "k": 4},
+        {"kind": "simulate", "strategy": "mct", "d": 3, "k": 4,
+         "states": [[0, 0, 0, 0, 1], [1, 0, 0, 0, 1], [0, 0, 0, 0, 2]]},
+        {"kind": "estimate", "strategy": "mct", "d": 3, "k": 1000},
+        {"kind": "synthesize", "strategy": "mct", "d": 3, "k": 5},
+    ]
+}
+
+
+# ----------------------------------------------------------------------
+# Spec parsing and planning
+# ----------------------------------------------------------------------
+def test_spec_parses_and_round_trips(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC), encoding="utf-8")
+    spec = WorkloadSpec.from_json(path)
+    assert len(spec.requests) == 5
+    assert spec.to_dict()["requests"][2]["states"] == SPEC["requests"][2]["states"]
+    # Bare-list shorthand.
+    assert len(WorkloadSpec.from_dict(SPEC["requests"]).requests) == 5
+
+
+@pytest.mark.parametrize(
+    "raw",
+    [
+        {"kind": "mystery", "strategy": "mct", "d": 3, "k": 4},
+        {"kind": "synthesize", "d": 3, "k": 4},
+        {"kind": "synthesize", "strategy": "mct", "d": "x", "k": 4},
+        {"kind": "estimate", "strategy": "mct", "d": 3, "k": 4, "states": [[0]]},
+        {"kind": "synthesize", "strategy": "mct", "d": 3, "k": 4, "bogus": 1},
+    ],
+)
+def test_spec_rejects_malformed_requests(raw):
+    with pytest.raises(WorkloadError):
+        WorkloadSpec.from_dict({"requests": [raw]})
+
+
+def test_planner_dedupes_shared_cache_keys():
+    spec = WorkloadSpec.from_dict(SPEC)
+    plan = plan_workload(spec)
+    # k=4 synthesize x2 + k=4 simulate share one key; k=5 is separate;
+    # estimate needs no compile.
+    assert len(plan.compiles) == 2
+    assert plan.dedup_savings == 2
+    assert plan.request_keys[0] == plan.request_keys[1] == plan.request_keys[2]
+    assert plan.request_keys[3] is None
+    assert plan.request_keys[4] not in (None, plan.request_keys[0])
+
+
+# ----------------------------------------------------------------------
+# Execution: serial, pooled, warm
+# ----------------------------------------------------------------------
+def test_run_workload_serial_and_warm(tmp_path):
+    spec = WorkloadSpec.from_dict(SPEC)
+    cold = run_workload(spec, jobs=1, cache_dir=tmp_path / "cache")
+    assert cold.ok and cold.unique_compiles == 2 and cold.warm_hits == 0
+    # |00001⟩: controls all zero -> target flips 1 -> 0; a non-zero control blocks.
+    assert cold.rows[2]["outputs"] == ["00000", "10001", "00002"]
+    assert cold.rows[3]["g_gates"] > 0
+
+    warm = run_workload(spec, jobs=1, cache_dir=tmp_path / "cache")
+    assert warm.ok and warm.warm_hits == 2  # every unique compile came from disk
+    assert warm.cache_stats["puts"] == 0  # nothing was rebuilt
+    assert [row.get("outputs") for row in warm.rows] == [
+        row.get("outputs") for row in cold.rows
+    ]
+
+
+def test_run_workload_pooled_matches_serial(tmp_path):
+    spec = WorkloadSpec.from_dict(SPEC)
+    serial = run_workload(spec, jobs=1, cache_dir=tmp_path / "serial")
+    pooled = run_workload(spec, jobs=2, cache_dir=tmp_path / "pooled")
+    assert pooled.ok and pooled.jobs == 2
+    for left, right in zip(serial.rows, pooled.rows):
+        assert left.get("outputs") == right.get("outputs")
+        assert left.get("gates") == right.get("gates")
+        assert left.get("g_gates") == right.get("g_gates")
+    # Pooled stats are reconstructed from worker provenance, not the idle
+    # parent cache: the cold pooled run built (and stored) both compiles.
+    assert pooled.cache_stats["puts"] == 2
+    # The pooled run persisted the same artifacts; a warm serial pass over
+    # its directory must hit disk for every compile.
+    warm = run_workload(spec, jobs=1, cache_dir=tmp_path / "pooled")
+    assert warm.warm_hits == 2 and warm.cache_stats["puts"] == 0
+    warm_pooled = run_workload(spec, jobs=2, cache_dir=tmp_path / "pooled")
+    assert warm_pooled.cache_stats["puts"] == 0
+    assert warm_pooled.cache_stats["disk_hits"] + warm_pooled.cache_stats["memo_hits"] > 0
+
+
+def test_run_workload_pool_requires_cache_dir():
+    spec = WorkloadSpec.from_dict(SPEC)
+    with pytest.raises(WorkloadError):
+        run_workload(spec, jobs=2)
+
+
+def test_failing_request_is_reported_not_raised(tmp_path):
+    spec = WorkloadSpec.from_dict(
+        {"requests": [
+            {"kind": "synthesize", "strategy": "no-such-strategy", "d": 3, "k": 4},
+            {"kind": "synthesize", "strategy": "mct", "d": 3, "k": 3},
+        ]}
+    )
+    report = run_workload(spec, jobs=1, cache_dir=tmp_path)
+    assert not report.ok
+    assert report.rows[0]["ok"] is False and "no-such-strategy" in report.rows[0]["error"]
+    assert report.rows[1]["ok"] is True
+
+
+def test_simulate_request_validates_states(tmp_path):
+    bad_width = WorkloadSpec.from_dict(
+        {"requests": [{"kind": "simulate", "strategy": "mct", "d": 3, "k": 4,
+                       "states": [[0, 0]]}]}
+    )
+    report = run_workload(bad_width, jobs=1, cache_dir=tmp_path)
+    assert not report.ok and "digits" in report.rows[0]["error"]
+    bad_digit = WorkloadSpec.from_dict(
+        {"requests": [{"kind": "simulate", "strategy": "mct", "d": 3, "k": 4,
+                       "states": [[0, 0, 0, 0, 7]]}]}
+    )
+    report = run_workload(bad_digit, jobs=1, cache_dir=tmp_path)
+    assert not report.ok and "out of range" in report.rows[0]["error"]
+
+
+def test_memo_only_workload_without_cache_dir():
+    spec = WorkloadSpec.from_dict({"requests": [
+        {"kind": "synthesize", "strategy": "mct", "d": 3, "k": 3},
+        {"kind": "synthesize", "strategy": "mct", "d": 3, "k": 3},
+    ]})
+    report = run_workload(spec, jobs=1)
+    assert report.ok and report.unique_compiles == 1 and report.dedup_savings == 1
+
+
+def test_request_compile_key_matches_service():
+    from repro.exec import lowered_key
+
+    request = WorkloadRequest(kind="simulate", strategy="mct", dim=3, k=4)
+    assert request.compile_key() == lowered_key("mct", 3, 4)
+    assert WorkloadRequest(kind="estimate", strategy="mct", dim=3, k=4).compile_key() is None
+
+
+def test_planner_resolves_auto_to_the_dispatched_strategy():
+    from repro.synth import registry
+
+    winner = registry.auto_select(3, 6).strategy.name
+    spec = WorkloadSpec.from_dict({"requests": [
+        {"kind": "synthesize", "strategy": "auto", "d": 3, "k": 6},
+        {"kind": "synthesize", "strategy": winner, "d": 3, "k": 6},
+    ]})
+    plan = plan_workload(spec)
+    # "auto" and its resolved winner share one compile (and one cache key).
+    assert len(plan.compiles) == 1 and plan.dedup_savings == 1
+    assert plan.request_keys[0] == plan.request_keys[1]
+
+
+def test_lower_cache_rejects_macro_stage_key(tmp_path):
+    import pytest as _pytest
+
+    from repro import lower_to_g_gates, synthesize_mct
+    from repro.exceptions import SynthesisError
+    from repro.exec import CompileCache, cache_key
+    from repro.synth import registry as _registry
+
+    cache = CompileCache(tmp_path)
+    _registry.synthesize("mct", 3, 4, cache=cache)  # stores the macro table
+    macro_key = cache_key("mct", 3, 4, stage="synth", engine="macro", salt=cache.salt)
+    with _pytest.raises(SynthesisError):
+        lower_to_g_gates(synthesize_mct(3, 4).circuit, cache=cache, cache_key=macro_key)
+
+
+# ----------------------------------------------------------------------
+# CLI: batch subcommand
+# ----------------------------------------------------------------------
+def test_cli_batch_cold_then_warm(tmp_path, capsys):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC), encoding="utf-8")
+    cache_dir = str(tmp_path / "cache")
+    report_path = tmp_path / "report.json"
+    assert main(["batch", "--workload", str(path), "--cache-dir", cache_dir,
+                 "--report", str(report_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Batch workload" in out and "deduped" in out
+    payload = json.loads(report_path.read_text(encoding="utf-8"))
+    assert payload["ok"] and payload["unique_compiles"] == 2
+
+    assert main(["batch", "--workload", str(path), "--cache-dir", cache_dir,
+                 "--jobs", "2", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["warm_hits"] == 2
+    assert all(row["cache"] in ("disk", "memo", "n/a") for row in payload["requests"])
+
+
+def test_cli_batch_reports_failures_with_exit_one(tmp_path, capsys):
+    path = tmp_path / "spec.json"
+    path.write_text(
+        json.dumps({"requests": [
+            {"kind": "synthesize", "strategy": "no-such", "d": 3, "k": 4}]}),
+        encoding="utf-8",
+    )
+    assert main(["batch", "--workload", str(path)]) == 1
+    assert "no-such" in capsys.readouterr().out
+
+
+def test_cli_batch_rejects_bad_spec(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json", encoding="utf-8")
+    assert main(["batch", "--workload", str(path)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# CLI: simulate --state validation (satellite)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "state,fragment",
+    [
+        ("0,0,5,0", "out of range"),
+        ("0,0,x,0", "not an integer"),
+        ("0,0,0", "needs 4 digits"),
+        ("0,0,0,0,0", "needs 4 digits"),
+        ("-1,0,0,0", "out of range"),
+    ],
+)
+def test_cli_simulate_state_validation(state, fragment, capsys):
+    assert main(["simulate", "mct", "3", "3", f"--state={state}"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and fragment in err
+
+
+def test_cli_simulate_valid_state_still_works(capsys):
+    assert main(["simulate", "mct", "3", "3", "--state", "0 0 0 1", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["input"] == "0001" and payload["output"] == "0000"
