@@ -37,7 +37,7 @@ import numpy as np
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
-from _harness import RESULTS_DIR, emit_table
+from _harness import RESULTS_DIR, emit_json, emit_table
 
 from repro import lower_to_g_gates, synthesize_mct
 from repro.bench import render_table
@@ -250,9 +250,7 @@ def main() -> int:
             "batch_size": BATCH_SIZE_FLOOR,
         },
     }
-    json_path = RESULTS_DIR / f"{stem}.json"
-    json_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    print(f"[json written to {json_path}]")
+    emit_json(stem, payload)
 
     for failure in failures:
         print(f"FAIL: {failure}")

@@ -31,7 +31,7 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
-from _harness import RESULTS_DIR, emit_table
+from _harness import RESULTS_DIR, emit_json, emit_table
 
 from repro.bench import render_table
 from repro.bench.formatting import ancilla_kind_label, json_safe
@@ -166,9 +166,7 @@ def main() -> int:
         "validation": validation,
         "acceptance": acceptance,
     }
-    json_path = RESULTS_DIR / f"{stem}.json"
-    json_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    print(f"[json written to {json_path}]")
+    emit_json(stem, payload)
 
     failed = [row for row in validation if not row["ok"]]
     if failed:

@@ -34,7 +34,7 @@ import numpy as np
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
-from _harness import RESULTS_DIR, emit_table
+from _harness import RESULTS_DIR, emit_json, emit_table
 
 from repro import lower_to_g_gates, synthesize_mct
 from repro.bench import render_table
@@ -174,9 +174,7 @@ def main() -> int:
         "speedup": speedup,
         "speedup_floor": None if args.quick else SPEEDUP_FLOOR,
     }
-    json_path = RESULTS_DIR / f"{stem}.json"
-    json_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    print(f"[json written to {json_path}]")
+    emit_json(stem, payload)
 
     if not args.quick and speedup < SPEEDUP_FLOOR:
         print(f"FAIL: speedup {speedup:.1f}x is below the {SPEEDUP_FLOOR:.0f}x floor")

@@ -2,9 +2,12 @@
 """Benchmark regression guard: compare result JSONs against committed floors.
 
 ``benchmarks/results/floors.json`` maps a result stem (the JSON filename
-without extension) to the minimum acceptable speedup ratio.  After the smoke
-benchmarks run in CI, this script fails the job if any produced ratio
-regressed below its floor::
+without extension) to either the minimum acceptable speedup ratio (a bare
+number, read from the result's headline ``speedup``) or an object of
+``{metric: minimum}`` pairs checked against the result's top-level fields
+(e.g. the streaming benchmark guards both ``fusion_speedup`` and
+``dense_over_streaming_rss``).  After the smoke benchmarks run in CI, this
+script fails the job if any produced ratio regressed below its floor::
 
     PYTHONPATH=src python benchmarks/bench_ir_tables.py --quick
     PYTHONPATH=src python benchmarks/bench_sim_backends.py --quick
@@ -50,7 +53,22 @@ def main() -> int:
             else:
                 print(f"skip: {message}")
             continue
-        speedup = extract_speedup(json.loads(path.read_text(encoding="utf-8")))
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if isinstance(floor, dict):
+            # Multi-metric guard: every named metric must be present and
+            # at (or above) its committed minimum.
+            for metric, minval in sorted(floor.items()):
+                if metric not in data:
+                    failures.append(f"{stem}: result has no {metric!r} field")
+                    print(f"REGRESSION: {stem}: missing metric {metric!r}")
+                    continue
+                value = float(data[metric])
+                status = "ok" if value >= minval else "REGRESSION"
+                print(f"{status}: {stem}: {metric} {value:.1f}x (floor {minval:.1f}x)")
+                if value < minval:
+                    failures.append(f"{stem}: {metric} {value:.1f}x < floor {minval:.1f}x")
+            continue
+        speedup = extract_speedup(data)
         status = "ok" if speedup >= floor else "REGRESSION"
         print(f"{status}: {stem}: speedup {speedup:.1f}x (floor {floor:.1f}x)")
         if speedup < floor:

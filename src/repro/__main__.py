@@ -11,8 +11,10 @@ Quick scenario exploration over the synthesis registry:
   specification and lower it to G-gates;
 * ``python -m repro simulate mct 3 6 --backend tensor --state 0,0,0,0,0,0,2``
   — build, lower and actually run a circuit on a chosen basis state through
-  a simulation backend; ``--table`` (default) lowers through the columnar
-  ``GateTable`` fast path, ``--no-table`` through the object pipeline.
+  a simulation backend (``--backend`` offers every registered engine;
+  ``--backend streaming --memory-budget 8M`` runs memory-tiled);
+  ``--table`` (default) lowers through the columnar ``GateTable`` fast
+  path, ``--no-table`` through the object pipeline.
 * ``python -m repro fuzz --time-budget 20 --seed 0 --json`` — differential
   fuzzing: seeded random circuits, synthesis instances and pass pipelines
   through every redundant engine pair (see :mod:`repro.fuzz`); exits
@@ -67,10 +69,22 @@ def _cmd_list(args) -> int:
                 "payload": caps.payload,
             }
         )
+    from repro.sim import backend_availability
+
+    availability = backend_availability()
     if args.json:
-        print(json.dumps(rows, indent=2, ensure_ascii=False))
+        print(
+            json.dumps(
+                {"strategies": rows, "backends": availability},
+                indent=2,
+                ensure_ascii=False,
+            )
+        )
     else:
         print(render_table(rows, title="Registered synthesis strategies"))
+        print("\nSimulation backends:")
+        for name, status in availability.items():
+            print(f"  {name:<10} {status}")
         print("\nuse: python -m repro estimate <d> <k> [--strategy NAME]")
     return 0
 
@@ -178,9 +192,15 @@ def _parse_state(text: str, num_wires: int, dim: int) -> List[int]:
 
 def _cmd_simulate(args) -> int:
     from repro.core.lowering import lower_to_g_gates
-    from repro.sim import Statevector, available_backends, get_backend
+    from repro.sim import Statevector, StreamingBackend, available_backends, get_backend
 
-    get_backend(args.backend)  # fail fast on unknown names
+    backend = get_backend(args.backend)  # fail fast on unknown names
+    if args.memory_budget is not None:
+        if args.backend != "streaming":
+            raise SynthesisError(
+                f"--memory-budget needs --backend streaming, got {args.backend!r}"
+            )
+        backend = StreamingBackend(args.memory_budget)
     if args.name == "auto":
         strategy = auto_select(args.d, args.k, budget=_budget_from_args(args)).strategy
         print(f"auto dispatch picked: {strategy.name}")
@@ -196,10 +216,10 @@ def _cmd_simulate(args) -> int:
 
     if args.state:
         digits = _parse_state(args.state, circuit.num_wires, args.d)
-        state = Statevector.from_basis_state(digits, args.d, backend=args.backend)
+        state = Statevector.from_basis_state(digits, args.d, backend=backend)
     else:
         digits = [0] * circuit.num_wires
-        state = Statevector(circuit.num_wires, args.d, backend=args.backend)
+        state = Statevector(circuit.num_wires, args.d, backend=backend)
 
     start = time.perf_counter()
     state.apply_circuit(lowered)
@@ -218,6 +238,8 @@ def _cmd_simulate(args) -> int:
         "input": "".join(map(str, digits)),
         "output": "".join(map(str, outcome)),
     }
+    if args.memory_budget is not None:
+        row["memory_budget"] = backend.memory_budget
     if args.json:
         print(json.dumps(json_safe(row), indent=2, ensure_ascii=False))
     else:
@@ -230,9 +252,34 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_batch(args) -> int:
+    import dataclasses
+
     from repro.exec import WorkloadSpec, run_workload
+    from repro.sim import get_backend, parse_memory_budget
 
     spec = WorkloadSpec.from_json(args.workload)
+    if args.backend is not None or args.memory_budget is not None:
+        # CLI-level defaults: fill in simulate requests that did not choose
+        # their own backend / budget in the spec (explicit fields win).
+        if args.backend is not None:
+            get_backend(args.backend)  # fail fast on unknown names
+        budget = (
+            parse_memory_budget(args.memory_budget)
+            if args.memory_budget is not None
+            else None
+        )
+        patched = []
+        for request in spec.requests:
+            if request.kind == "simulate":
+                updates = {}
+                if args.backend is not None and request.backend == "dense":
+                    updates["backend"] = args.backend
+                if budget is not None and request.memory_budget is None:
+                    updates["memory_budget"] = budget
+                if updates:
+                    request = dataclasses.replace(request, **updates)
+            patched.append(request)
+        spec = WorkloadSpec(patched)
     report = run_workload(spec, jobs=args.jobs, cache_dir=args.cache_dir)
     payload = report.to_json()
     if args.report:
@@ -351,12 +398,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_syn.set_defaults(func=_cmd_synthesize)
 
+    from repro.sim import available_backends
+
+    backend_names = list(available_backends())
+
     p_sim = sub.add_parser("simulate", help="build, lower and run a circuit on a backend")
     p_sim.add_argument("name", help='strategy name (or "auto")')
     p_sim.add_argument("d", type=int, help="qudit dimension")
     p_sim.add_argument("k", type=int, help="size parameter")
     p_sim.add_argument(
-        "--backend", default="dense", help="simulation engine (dense, tensor, ...)"
+        "--backend",
+        default="dense",
+        choices=backend_names,
+        help="simulation engine (from the live registry)",
+    )
+    p_sim.add_argument(
+        "--memory-budget",
+        default=None,
+        help='streaming backend byte budget, e.g. "8M", "512K", 4096 '
+        "(needs --backend streaming)",
     )
     p_sim.add_argument(
         "--table",
@@ -381,6 +441,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="persistent compile-cache directory shared by workers (and future runs)",
+    )
+    p_batch.add_argument(
+        "--backend",
+        default=None,
+        choices=backend_names,
+        help="backend for simulate requests that kept the dense default",
+    )
+    p_batch.add_argument(
+        "--memory-budget",
+        default=None,
+        help='default streaming byte budget (e.g. "8M") for simulate requests '
+        "that set none",
     )
     p_batch.add_argument("--report", help="also write the JSON report to this path")
     p_batch.add_argument("--json", action="store_true", help="emit JSON on stdout")

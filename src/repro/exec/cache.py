@@ -87,11 +87,15 @@ class CompileCache:
         max_disk_bytes: int = DEFAULT_MAX_DISK_BYTES,
         max_memo_entries: int = DEFAULT_MAX_MEMO_ENTRIES,
         salt: str = CODE_VERSION,
+        mmap_mode: Optional[str] = "r",
     ):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.max_disk_bytes = int(max_disk_bytes)
         self.max_memo_entries = int(max_memo_entries)
         self.salt = salt
+        #: ``"r"`` maps warm ``.npz`` hits read-only (zero-copy columns whose
+        #: pages are shared across fork-pool workers); ``None`` copy-loads.
+        self.mmap_mode = mmap_mode
         self.stats = CacheStats()
         self._memo: "OrderedDict[str, CacheEntry]" = OrderedDict()
         if self.cache_dir is not None:
@@ -135,7 +139,7 @@ class CompileCache:
             self.stats.misses += 1
             return None
         try:
-            table = load_table(npz_path)
+            table = load_table(npz_path, mmap_mode=self.mmap_mode)
             # The sidecar is written before the npz, so a hit without one
             # means a corrupted entry — never serve a table with silently
             # empty metadata (wire roles would be wrong downstream).

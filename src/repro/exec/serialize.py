@@ -2,7 +2,8 @@
 
 A :class:`~repro.ir.table.GateTable` is already array-shaped — eight int
 columns plus four interned pools — so its on-disk form is a plain
-``np.savez_compressed`` archive: the columns verbatim, and each pool
+``np.savez`` archive (uncompressed, so loads can map it): the columns
+verbatim, and each pool
 flattened into parallel arrays (ragged entries via offset arrays).  Nothing
 is pickled (``np.load`` runs with ``allow_pickle=False``), so a cache
 directory can be shared between processes and machines without executing
@@ -17,7 +18,11 @@ property-style by the ``cache`` fuzz oracle and ``tests/test_exec_cache.py``.
 
 from __future__ import annotations
 
-from typing import Dict, List
+import mmap
+import os
+import struct
+import zipfile
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -213,15 +218,90 @@ def arrays_to_table(arrays) -> GateTable:
 
 
 def save_table(file, table: GateTable) -> None:
-    """Write a table to ``file`` (path or binary file object) as ``.npz``."""
-    np.savez_compressed(file, **table_to_arrays(table))
+    """Write a table to ``file`` (path or binary file object) as ``.npz``.
+
+    Uncompressed (``np.savez``): the zip members are STORED verbatim, which
+    is what lets :func:`load_table` map the column bytes straight out of the
+    archive with ``mmap_mode="r"`` instead of copying them.  Tables are int
+    columns plus small pools, so the size cost over compression is modest.
+    """
+    np.savez(file, **table_to_arrays(table))
 
 
-def load_table(file) -> GateTable:
-    """Read a table written by :func:`save_table` (never unpickles)."""
+def _mapped_arrays(path, mmap_mode: str) -> Dict[str, np.ndarray]:
+    """Load an ``.npz`` with STORED members mapped read-only, zero-copy.
+
+    ``np.load`` silently ignores ``mmap_mode`` for ``.npz`` archives, so this
+    maps the whole file once (one fd, closed after mapping) and builds each
+    member as an ``np.frombuffer`` view into the mapping: no amplitude of
+    column data is copied, the pages are shared across every process mapping
+    the same file (the fork-pool workers), and the arrays come out read-only.
+
+    Members that cannot be mapped — compressed entries of legacy archives,
+    0-d scalars — fall back to a normal copy-read.  Any structural problem
+    (truncation, bad headers, object dtypes) raises :class:`CacheError`.
+    """
+    if mmap_mode != "r":
+        raise CacheError(f"unsupported mmap_mode {mmap_mode!r} (only 'r' is supported)")
+    with open(path, "rb") as handle:
+        mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    file_size = len(mapping)
+    arrays: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as raw:
+        for info in archive.infolist():
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[: -len(".npy")]
+            if info.compress_type != zipfile.ZIP_STORED:
+                with archive.open(info) as member:
+                    arrays[name] = np.lib.format.read_array(member, allow_pickle=False)
+                continue
+            # The zip local header is variable-length; the payload (the raw
+            # ``.npy`` stream) starts after its name and extra fields.
+            header = mapping[info.header_offset : info.header_offset + 30]
+            if len(header) != 30 or header[:4] != b"PK\x03\x04":
+                raise CacheError(f"archive member {name!r} has a truncated local header")
+            name_len, extra_len = struct.unpack("<HH", header[26:30])
+            raw.seek(info.header_offset + 30 + name_len + extra_len)
+            version = np.lib.format.read_magic(raw)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(raw)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(raw)
+            else:
+                with archive.open(info) as member:
+                    arrays[name] = np.lib.format.read_array(member, allow_pickle=False)
+                continue
+            if dtype.hasobject:
+                raise CacheError(f"archive member {name!r} has an object dtype")
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            offset = raw.tell()
+            if offset + count * dtype.itemsize > file_size:
+                raise CacheError(f"archive member {name!r} is truncated")
+            if not shape:  # 0-d scalars (format_version, dims, name) are tiny
+                with archive.open(info) as member:
+                    arrays[name] = np.lib.format.read_array(member, allow_pickle=False)
+                continue
+            view = np.frombuffer(mapping, dtype=dtype, count=count, offset=offset)
+            arrays[name] = view.reshape(shape, order="F" if fortran else "C")
+    return arrays
+
+
+def load_table(file, *, mmap_mode: Optional[str] = None) -> GateTable:
+    """Read a table written by :func:`save_table` (never unpickles).
+
+    With ``mmap_mode="r"`` and a filesystem path, the table's columns and
+    pool arrays are read-only views into a shared mapping of the archive —
+    a warm cache hit copies no column data and shares its pages with every
+    other process mapping the same entry.  File objects and archives whose
+    members cannot be mapped degrade to the plain copy-loading path.
+    """
     try:
-        with np.load(file, allow_pickle=False) as archive:
-            arrays = {key: archive[key] for key in archive.files}
+        if mmap_mode is not None and isinstance(file, (str, os.PathLike)):
+            arrays = _mapped_arrays(file, mmap_mode)
+        else:
+            with np.load(file, allow_pickle=False) as archive:
+                arrays = {key: archive[key] for key in archive.files}
     except CacheError:
         raise
     except Exception as error:

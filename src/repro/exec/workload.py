@@ -6,6 +6,8 @@ A *workload* is a JSON list of requests against the synthesis service::
         {"kind": "synthesize", "strategy": "mct", "d": 3, "k": 6},
         {"kind": "simulate",  "strategy": "mct", "d": 3, "k": 5,
          "states": [[0,0,0,0,0,1], [0,0,0,0,0,2]], "backend": "dense"},
+        {"kind": "simulate",  "strategy": "mct", "d": 3, "k": 5,
+         "backend": "streaming", "memory_budget": "8M"},
         {"kind": "estimate",  "strategy": "mct", "d": 5, "k": 100000}
     ]}
 
@@ -59,6 +61,9 @@ class WorkloadRequest:
     backend: str = "dense"
     #: Basis states to simulate, as digit rows (simulate only; default |0...0⟩).
     states: Tuple[Tuple[int, ...], ...] = ()
+    #: Byte budget for the ``streaming`` backend (simulate only; accepts
+    #: ``"8M"``-style strings in the JSON, normalised to bytes here).
+    memory_budget: Optional[int] = None
 
     @classmethod
     def from_dict(cls, raw: Dict[str, object], index: int) -> "WorkloadRequest":
@@ -72,7 +77,9 @@ class WorkloadRequest:
         missing = [name for name in ("strategy", "d", "k") if name not in raw]
         if missing:
             raise WorkloadError(f"request {index}: missing field(s) {missing}")
-        unknown = set(raw) - {"kind", "strategy", "d", "k", "engine", "backend", "states"}
+        unknown = set(raw) - {
+            "kind", "strategy", "d", "k", "engine", "backend", "states", "memory_budget",
+        }
         if unknown:
             raise WorkloadError(f"request {index}: unknown field(s) {sorted(unknown)}")
         try:
@@ -88,6 +95,19 @@ class WorkloadRequest:
             ) from None
         if states and kind != "simulate":
             raise WorkloadError(f"request {index}: states only applies to simulate requests")
+        memory_budget = raw.get("memory_budget")
+        if memory_budget is not None:
+            if kind != "simulate":
+                raise WorkloadError(
+                    f"request {index}: memory_budget only applies to simulate requests"
+                )
+            from repro.exceptions import GateError
+            from repro.sim.streaming import parse_memory_budget
+
+            try:
+                memory_budget = parse_memory_budget(memory_budget)
+            except GateError as error:
+                raise WorkloadError(f"request {index}: {error}") from None
         return cls(
             kind=kind,
             strategy=str(raw["strategy"]),
@@ -96,6 +116,7 @@ class WorkloadRequest:
             engine=str(raw.get("engine", "table")),
             backend=str(raw.get("backend", "dense")),
             states=states,
+            memory_budget=memory_budget,
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -111,6 +132,8 @@ class WorkloadRequest:
             out["backend"] = self.backend
         if self.states:
             out["states"] = [list(row) for row in self.states]
+        if self.memory_budget is not None:
+            out["memory_budget"] = self.memory_budget
         return out
 
     def compile_key(self, salt: str = CODE_VERSION) -> Optional[str]:
@@ -256,9 +279,17 @@ def _simulate(request: WorkloadRequest, circuit) -> List[str]:
         images = circuit.to_table().apply_to_indices(indices)
         digits = indices_to_digits(images, request.dim, circuit.num_wires)
         return ["".join(str(int(x)) for x in row) for row in digits]
-    get_backend(request.backend)  # fail fast on unknown engines
+    backend = get_backend(request.backend)  # fail fast on unknown engines
+    if request.memory_budget is not None:
+        if request.backend != "streaming":
+            raise WorkloadError(
+                f"memory_budget needs the streaming backend, got {request.backend!r}"
+            )
+        from repro.sim.streaming import StreamingBackend
+
+        backend = StreamingBackend(request.memory_budget)
     batch = BatchedStatevector.from_basis_states(
-        list(rows), request.dim, backend=request.backend
+        list(rows), request.dim, backend=backend
     )
     batch.apply_circuit(circuit)
     return ["".join(map(str, digits)) for digits in batch.most_probable()]

@@ -15,9 +15,10 @@ Oracles
     and every column kernel (counts, depth, histogram, wires, inverse)
     agrees with the object implementation.
 ``backends``
-    dense vs. tensor statevector evolution, per-op vs. ``apply_table``, and
-    (for permutation circuits) the whole-basis gather table vs. the scalar
-    ``apply_to_basis`` path.
+    every registered simulation engine (``available_backends()`` — dense,
+    tensor, streaming, numba where installed, anything registered by the
+    caller), per-op vs. ``apply_table``, and (for permutation circuits) the
+    whole-basis gather table vs. the scalar ``apply_to_basis`` path.
 ``inverse``
     metamorphic check: ``circuit ∘ circuit.inverse()`` is the identity.
 ``passes``
@@ -55,7 +56,7 @@ from repro.passes import PassPipeline
 from repro.qudit.circuit import QuditCircuit
 from repro.qudit.operations import Operation, StarShiftOp
 from repro.resources.estimator import METRIC_FIELDS
-from repro.sim import get_backend
+from repro.sim import available_backends, get_backend
 from repro.sim.permutation import apply_to_basis, permutation_index_table
 from repro.utils.indexing import indices_to_digits
 from repro.fuzz.generators import (
@@ -228,7 +229,14 @@ def _random_state(dim: int, num_wires: int, seed: int) -> np.ndarray:
 
 
 def check_backends(circuit: QuditCircuit, state_seed: int) -> Optional[str]:
-    """Every simulation path agrees on a random state (and on basis states)."""
+    """Every *registered* simulation path agrees on a random state.
+
+    The oracle iterates :func:`repro.sim.backend.available_backends`, so a
+    backend registered after import (``streaming`` with a tiny budget, the
+    ``numba`` engine where installed, a user's custom engine) is fuzzed
+    automatically — both its per-op ``apply_circuit`` walk and its fused
+    ``apply_table`` path — against the dense per-op reference.
+    """
     data = _random_state(circuit.dim, circuit.num_wires, state_seed)
     plain = _plain_copy(circuit)
     dense = get_backend("dense")
@@ -236,13 +244,24 @@ def check_backends(circuit: QuditCircuit, state_seed: int) -> Optional[str]:
     for op in plain:
         reference = dense.apply_op(reference, op, circuit.dim, circuit.num_wires)
     table = circuit.to_table()
-    paths: Sequence[Tuple[str, Callable[[], np.ndarray]]] = (
-        ("tensor per-op", lambda: get_backend("tensor").apply_circuit(data.copy(), plain)),
-        ("dense apply_table", lambda: dense.apply_table(data.copy(), table)),
-        ("tensor apply_table", lambda: get_backend("tensor").apply_table(data.copy(), table)),
-    )
+    paths: List[Tuple[str, Callable[[], np.ndarray]]] = []
+    for backend_name in available_backends():
+        engine = get_backend(backend_name)
+        if backend_name != "dense":
+            paths.append(
+                (
+                    f"{backend_name} per-op",
+                    lambda engine=engine: engine.apply_circuit(data.copy(), plain),
+                )
+            )
+        paths.append(
+            (
+                f"{backend_name} apply_table",
+                lambda engine=engine: engine.apply_table(data.copy(), table),
+            )
+        )
     for name, evolve in paths:
-        evolved = evolve()
+        evolved = np.asarray(evolve())
         if not np.allclose(evolved, reference, atol=1e-9):
             deviation = float(np.max(np.abs(evolved - reference)))
             return f"{name} deviates from dense per-op by {deviation:.3e}"

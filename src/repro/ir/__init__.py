@@ -17,9 +17,16 @@ from repro.ir.pools import (
     PermGatePool,
     PoolSet,
     PredicatePool,
+    SegmentGatherCache,
     UnitaryGatePool,
 )
-from repro.ir.rewrite import cancel_adjacent_inverses, drop_identities, fuse_single_qudit
+from repro.ir.rewrite import (
+    cancel_adjacent_inverses,
+    drop_identities,
+    fuse_single_qudit,
+    segment_bounds,
+)
+from repro.ir.segment import Segment, compose_gather, segment_table
 from repro.ir.table import OP_PERM, OP_STAR, OP_UNITARY, GateTable, TableBuilder
 from repro.ir.lowering import expand_to_table, lower_circuit_to_table
 
@@ -31,9 +38,14 @@ __all__ = [
     "UnitaryGatePool",
     "PredicatePool",
     "ExtraControlsPool",
+    "SegmentGatherCache",
     "OP_PERM",
     "OP_UNITARY",
     "OP_STAR",
+    "Segment",
+    "compose_gather",
+    "segment_table",
+    "segment_bounds",
     "drop_identities",
     "cancel_adjacent_inverses",
     "fuse_single_qudit",

@@ -16,6 +16,7 @@ interned.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -329,10 +330,45 @@ class ExtraControlsPool:
         )
 
 
-class PoolSet:
-    """The four pools one table (or a family of derived tables) shares."""
+class SegmentGatherCache:
+    """Interned whole-basis gather tables for composed row segments.
 
-    __slots__ = ("perms", "unitaries", "preds", "extras")
+    Keyed by the segment's row content (plus register shape and direction),
+    so every table sharing one :class:`PoolSet` — ``select``/``inverse``
+    derivatives, re-lowered copies, the fuzz oracles' twins — reuses one
+    composed array per distinct segment instead of recomposing it.  Bounded
+    FIFO-style: composed tables over a ``d^n`` basis are large, so the cache
+    holds at most ``max_entries`` of them.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        self._arrays: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.builds = 0
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def intern(self, key: tuple, build) -> np.ndarray:
+        """The cached array under ``key``, calling ``build()`` on first use."""
+        array = self._arrays.get(key)
+        if array is None:
+            array = build()
+            self.builds += 1
+            self._arrays[key] = array
+            while len(self._arrays) > self.max_entries:
+                self._arrays.popitem(last=False)
+        else:
+            self._arrays.move_to_end(key)
+            self.hits += 1
+        return array
+
+
+class PoolSet:
+    """The pools one table (or a family of derived tables) shares."""
+
+    __slots__ = ("perms", "unitaries", "preds", "extras", "segments")
 
     def __init__(
         self,
@@ -340,8 +376,10 @@ class PoolSet:
         unitaries: Optional[UnitaryGatePool] = None,
         preds: Optional[PredicatePool] = None,
         extras: Optional[ExtraControlsPool] = None,
+        segments: Optional[SegmentGatherCache] = None,
     ) -> None:
         self.perms = perms or PermGatePool()
         self.unitaries = unitaries or UnitaryGatePool()
         self.preds = preds or PredicatePool()
         self.extras = extras or ExtraControlsPool()
+        self.segments = segments or SegmentGatherCache()

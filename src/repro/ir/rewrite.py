@@ -23,6 +23,27 @@ import numpy as np
 from repro.ir.table import OP_PERM, OP_STAR, OP_UNITARY, GateTable
 
 
+def segment_bounds(table: GateTable) -> List[tuple]:
+    """``(start, stop, is_permutation)`` runs splitting the rows at unitary ops.
+
+    One vectorized pass over the opcode column: every ``OP_UNITARY`` row is
+    its own single-row run, and the maximal stretches between them (``OP_PERM``
+    and ``OP_STAR`` rows — both permutations of the computational basis) are
+    permutation runs.  The simulation layer composes each permutation run
+    into one whole-basis gather (:mod:`repro.ir.segment`).
+    """
+    bounds: List[tuple] = []
+    cursor = 0
+    for row in np.flatnonzero(table.opcode == OP_UNITARY).tolist():
+        if row > cursor:
+            bounds.append((cursor, row, True))
+        bounds.append((row, row + 1, False))
+        cursor = row + 1
+    if cursor < len(table):
+        bounds.append((cursor, len(table), True))
+    return bounds
+
+
 def drop_identities(table: GateTable) -> GateTable:
     """Remove rows that act as the identity on every basis state.
 

@@ -489,8 +489,9 @@ class GateTable:
     def permutation_index_table(self) -> np.ndarray:
         """The table's action on the full flat basis as one gather array.
 
-        Composes one cached gather table per *distinct row* — applying a
-        lowered circuit never rebuilds a table for a repeated gate form.
+        Delegates to the segment layer: a permutation table is one maximal
+        segment spanning every row, composed once (one cached gather per
+        *distinct* row) and interned on the pools so derived tables share it.
         """
         if not self.is_permutation:
             raise GateError(
@@ -498,13 +499,9 @@ class GateTable:
             )
         cached = self._cache.get("perm_index_table")
         if cached is None:
-            ops, inverse = self.unique_ops()
-            gathers = [op.permutation_table(self.dim, self.num_wires) for op in ops]
-            acc = np.arange(self.dim**self.num_wires)
-            for u in inverse.tolist():
-                acc = gathers[u][acc]
-            acc.setflags(write=False)
-            cached = acc
+            from repro.ir.segment import compose_gather
+
+            cached = compose_gather(self, 0, len(self))
             self._cache["perm_index_table"] = cached
         return cached
 

@@ -1,8 +1,11 @@
 """Simulators and verification helpers for qudit circuits.
 
 The simulation engines live in :mod:`repro.sim.backend` and are selected by
-name (``"dense"``, ``"tensor"``) wherever a ``backend=`` parameter appears —
+name (``"dense"``, ``"tensor"``, ``"streaming"``, and ``"numba"`` when numba
+is installed) wherever a ``backend=`` parameter appears —
 :class:`Statevector`, :func:`circuit_unitary` and the ``assert_*`` helpers.
+:func:`backend_availability` reports every known engine with a one-line
+reason when one could not register.
 """
 
 from repro.sim.backend import (
@@ -10,11 +13,21 @@ from repro.sim.backend import (
     SimulationBackend,
     TensorBackend,
     available_backends,
+    backend_availability,
     default_backend,
     get_backend,
     register_backend,
+    register_unavailable_backend,
     set_default_backend,
+    unregister_backend,
 )
+from repro.sim.streaming import (
+    DEFAULT_MEMORY_BUDGET,
+    StreamingBackend,
+    parse_memory_budget,
+)
+from repro.sim import jit as _jit  # registers the numba backend when importable
+from repro.sim.jit import NUMBA_AVAILABLE, NUMBA_REASON
 from repro.sim.permutation import (
     apply_to_basis,
     function_table,
@@ -45,12 +58,20 @@ from repro.sim.verify import (
 __all__ = [
     "DenseBackend",
     "SimulationBackend",
+    "StreamingBackend",
     "TensorBackend",
+    "DEFAULT_MEMORY_BUDGET",
+    "NUMBA_AVAILABLE",
+    "NUMBA_REASON",
     "available_backends",
+    "backend_availability",
     "default_backend",
     "get_backend",
+    "parse_memory_budget",
     "register_backend",
+    "register_unavailable_backend",
     "set_default_backend",
+    "unregister_backend",
     "apply_to_basis",
     "function_table",
     "permutation_index_table",

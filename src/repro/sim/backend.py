@@ -15,9 +15,16 @@ fully vectorized numpy — no per-index Python loop anywhere:
   become an axis-wise ``np.take``, star shifts become per-star-value rolls of
   the target axis, unitaries become a ``tensordot`` on the target axis, all
   masked by the broadcastable control mask.
+* ``streaming`` (:mod:`repro.sim.streaming`) — applies each fused segment
+  tile-by-tile under an explicit ``memory_budget``, spilling scratch arrays
+  to ``np.memmap`` when the statevector exceeds the budget.
+* ``numba`` (:mod:`repro.sim.jit`) — optional parallel JIT gather kernels;
+  registered only when numba imports
+  (:func:`backend_availability` reports why it is absent otherwise).
 
-Future engines (e.g. a ``sparse-permutation`` backend that tracks only the
-support of the state) plug in through :func:`register_backend`.
+Further engines plug in through :func:`register_backend`; optional engines
+whose dependencies are missing record a reason through
+:func:`register_unavailable_backend` instead.
 
 Every engine accepts data whose *leading* axis is the flat basis index of
 size ``dim ** num_wires``; trailing axes are batch dimensions carried through
@@ -73,28 +80,28 @@ class SimulationBackend:
     def apply_table(self, data: np.ndarray, table) -> np.ndarray:
         """Apply a columnar :class:`~repro.ir.table.GateTable` to ``data``.
 
-        Iterates the columns through the table's distinct-row index: one
-        gather table is built (or fetched from the shared cache) per
-        *distinct* gate form, then reused for every repeated row — no
-        per-op re-hashing.  Dense-unitary rows fall back to the engine's
-        own ``_apply_unitary``.
+        Segment-fused: the rows are partitioned into maximal permutation-only
+        runs separated by dense-unitary rows
+        (:func:`repro.ir.segment.segment_table`), and each permutation run is
+        applied as ONE composed whole-basis gather — a table of thousands of
+        permutation rows between two unitaries costs one scatter, not
+        thousands.  Composed tables are interned on the pools, so repeated
+        applications (and derived tables) reuse them.  Unitary rows go
+        through the engine's own ``_apply_unitary``; both kernels carry
+        trailing batch axes natively.  Integer index composition is exact,
+        so fusing never changes a single bit of the result.
         """
+        from repro.ir.segment import segment_table
+
         dim, num_wires = table.dim, table.num_wires
-        ops, inverse = table.unique_ops()
-        gathers = []
-        for op in ops:
-            if op.is_permutation:
-                gathers.append(op.permutation_table(dim, num_wires))
-            else:
-                gathers.append(None)
-        for u in inverse.tolist():
-            gather = gathers[u]
-            if gather is None:
-                data = self._apply_unitary(data, ops[u], dim, num_wires)
-            else:
+        for segment in segment_table(table):
+            if segment.kind == "perm":
+                gather = segment.index_table()
                 out = np.empty_like(data)
                 out[gather] = data
                 data = out
+            else:
+                data = self._apply_unitary(data, segment.op(), dim, num_wires)
         return data
 
     def apply_table_batch(self, data: np.ndarray, table) -> np.ndarray:
@@ -142,26 +149,20 @@ class DenseBackend(SimulationBackend):
     name = "dense"
 
     def apply_table_batch(self, data, table):
-        """Native batch axis — and, for permutation tables, one single gather.
+        """Native batch axis: the whole batch evolves per fused segment.
 
-        A permutation table's rows compose into one whole-basis index table
-        (:meth:`~repro.ir.table.GateTable.permutation_index_table`, cached on
-        the table), so the entire batch evolves with ONE composed gather
-        instead of one pass per gate per state: the composition costs about
-        one looped state and every state after that is pure gather — the
-        amortisation the batch executor's ≥3x floor measures.  Tables with
-        dense-unitary rows keep the per-row path, whose gather/einsum kernels
-        carry the batch axis through natively.
+        :meth:`SimulationBackend.apply_table` is already segment-fused and
+        its gather/einsum kernels carry trailing axes natively, so a
+        permutation table moves the entire batch with ONE composed gather —
+        the composition costs about one looped state and every state after
+        that is pure gather, the amortisation the batch executor's ≥3x floor
+        measures.  Mixed tables cost one gather per permutation segment plus
+        one batched einsum per unitary row.
         """
         if data.ndim != 2:
             raise GateError(
                 f"apply_table_batch expects (basis, batch) data, got shape {data.shape}"
             )
-        if table.is_permutation:
-            gather = table.permutation_index_table()
-            out = np.empty_like(data)
-            out[gather] = data
-            return out
         return self.apply_table(data, table)
 
     def apply_circuit_batch(self, data, circuit):
@@ -243,19 +244,52 @@ BackendLike = Union[str, SimulationBackend, None]
 _REGISTRY: Dict[str, SimulationBackend] = {}
 _DEFAULT_NAME = "dense"
 
+#: Backends that failed to register (name -> one-line reason), e.g. the
+#: numba engine on an interpreter without numba.  Purely informational:
+#: ``available_backends()`` never lists them, ``backend_availability()`` does.
+_UNAVAILABLE: Dict[str, str] = {}
+
 
 def register_backend(backend, *, name: Optional[str] = None) -> SimulationBackend:
     """Register a backend instance (or class) under ``name`` and return it."""
     instance = backend() if isinstance(backend, type) else backend
     if not isinstance(instance, SimulationBackend):
         raise GateError(f"{backend!r} is not a SimulationBackend")
-    _REGISTRY[name or instance.name] = instance
+    registered = name or instance.name
+    _REGISTRY[registered] = instance
+    _UNAVAILABLE.pop(registered, None)
     return instance
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (no-op when absent; the default survives
+    as ``dense`` only if re-registered — callers removing the default must
+    set a new one first)."""
+    _REGISTRY.pop(name, None)
+
+
+def register_unavailable_backend(name: str, reason: str) -> None:
+    """Record that ``name`` could not be registered, with a one-line reason.
+
+    Used by optional engines (the numba JIT backend) so ``python -m repro
+    list`` can report *why* a backend is missing instead of silently
+    omitting it.  A later successful :func:`register_backend` of the same
+    name clears the record.
+    """
+    if name not in _REGISTRY:
+        _UNAVAILABLE[name] = str(reason)
 
 
 def available_backends() -> Tuple[str, ...]:
     """Sorted names of every registered simulation backend."""
     return tuple(sorted(_REGISTRY))
+
+
+def backend_availability() -> Dict[str, str]:
+    """Every known backend name -> ``"available"`` or the reason it is not."""
+    out = {name: "available" for name in _REGISTRY}
+    out.update({name: reason for name, reason in _UNAVAILABLE.items() if name not in out})
+    return dict(sorted(out.items()))
 
 
 def get_backend(backend: BackendLike = None) -> SimulationBackend:

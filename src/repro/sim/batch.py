@@ -122,6 +122,12 @@ class BatchedStatevector:
             copy=False,
         )
 
+    @property
+    def nbytes(self) -> int:
+        """Amplitude bytes (``16·dⁿ·B``) — the batch's ``S`` in the backend
+        memory models (README "Simulation backends")."""
+        return int(self.data.nbytes)
+
     # ------------------------------------------------------------------
     # Evolution
     # ------------------------------------------------------------------

@@ -1,0 +1,124 @@
+"""Optional numba-JIT simulation backend — never a hard dependency.
+
+When numba imports, a ``numba`` backend registers with parallel fused
+gather-and-predicate kernels: permutation segments stream through a
+``prange`` gather (``out[j] = data[src[j]]``, the predicate already folded
+into the composed segment table), and raw controlled permutation ops run a
+masked variant (``out[j] = mask[j] ? data[src[j]] : data[j]``) that fuses
+the control predicate into the same single pass — no boolean temporaries,
+no ``np.where`` intermediates.  Dense-unitary rows fall back to the dense
+engine's einsum kernel, so results are identical to ``dense``.
+
+When numba is absent (or broken), importing this module is still safe: the
+backend is simply not registered, and
+:func:`repro.sim.backend.backend_availability` reports the one-line reason —
+``python -m repro list`` surfaces it to users.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.qudit.operations import Operation
+from repro.sim.backend import (
+    DenseBackend,
+    register_backend,
+    register_unavailable_backend,
+)
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+except Exception as _error:  # ImportError or a broken installation
+    numba = None
+    NUMBA_REASON = (
+        f"unavailable — numba is not importable ({type(_error).__name__}); "
+        "pip install numba to enable the JIT backend"
+    )
+else:  # pragma: no cover - exercised only where numba is installed
+    NUMBA_REASON = "available"
+
+NUMBA_AVAILABLE = numba is not None
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+
+    @numba.njit(parallel=True, nogil=True, cache=True)
+    def _gather_1d(out, src, data):
+        for j in numba.prange(out.shape[0]):
+            out[j] = data[src[j]]
+
+    @numba.njit(parallel=True, nogil=True, cache=True)
+    def _gather_2d(out, src, data):
+        for j in numba.prange(out.shape[0]):
+            for b in range(out.shape[1]):
+                out[j, b] = data[src[j], b]
+
+    @numba.njit(parallel=True, nogil=True, cache=True)
+    def _gather_where_1d(out, src, mask, data):
+        for j in numba.prange(out.shape[0]):
+            out[j] = data[src[j]] if mask[j] else data[j]
+
+    @numba.njit(parallel=True, nogil=True, cache=True)
+    def _gather_where_2d(out, src, mask, data):
+        for j in numba.prange(out.shape[0]):
+            k = src[j] if mask[j] else j
+            for b in range(out.shape[1]):
+                out[j, b] = data[k, b]
+
+    def _invert(forward: np.ndarray) -> np.ndarray:
+        inverse = np.empty_like(forward)
+        inverse[forward] = np.arange(forward.size)
+        return inverse
+
+    class NumbaBackend(DenseBackend):
+        """Dense engine with the gather hot paths JIT-compiled and parallel."""
+
+        name = "numba"
+
+        def _gather(self, data, src):
+            out = np.empty_like(data)
+            data = np.ascontiguousarray(data)
+            if data.ndim == 1:
+                _gather_1d(out, src, data)
+            elif data.ndim == 2:
+                _gather_2d(out, src, data)
+            else:  # rare >2-D batch shapes: numpy fancy indexing
+                return data[src]
+            return out
+
+        def apply_table(self, data, table):
+            from repro.ir.segment import segment_table
+
+            for segment in segment_table(table):
+                if segment.kind == "perm":
+                    data = self._gather(data, segment.inverse_index_table())
+                else:
+                    data = self._apply_unitary(
+                        data, segment.op(), table.dim, table.num_wires
+                    )
+            return data
+
+        def _apply_permutation(self, data, op, dim, num_wires):
+            if isinstance(op, Operation) and op.controls and data.ndim <= 2:
+                # Predicate-fused path: gather through the *uncontrolled*
+                # permutation, masking per basis state in the same pass.
+                # The permutation only moves the target wire, so the mask is
+                # invariant under it and gather-side masking is exact.
+                bare = Operation(op.gate, op.target)
+                src = _invert(bare.permutation_table(dim, num_wires))
+                mask = op.control_mask(dim, num_wires, flat=True)
+                out = np.empty_like(data)
+                data = np.ascontiguousarray(data)
+                if data.ndim == 1:
+                    _gather_where_1d(out, src, mask, data)
+                else:
+                    _gather_where_2d(out, src, mask, data)
+                return out
+            return self._gather(data, _invert(op.permutation_table(dim, num_wires)))
+
+    register_backend(NumbaBackend())
+else:
+    register_unavailable_backend("numba", NUMBA_REASON)
+
+
+__all__ = ["NUMBA_AVAILABLE", "NUMBA_REASON"]

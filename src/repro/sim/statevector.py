@@ -26,9 +26,12 @@ class Statevector:
     """A dense statevector over ``num_wires`` qudits of dimension ``dim``.
 
     ``backend`` selects the simulation engine by name (``"dense"``,
-    ``"tensor"``, or any name registered through
-    :func:`repro.sim.backend.register_backend`); ``None`` uses the process
-    default.
+    ``"tensor"``, ``"streaming"``, or any name registered through
+    :func:`repro.sim.backend.register_backend`), or accepts a configured
+    instance directly — e.g. ``StreamingBackend("8M")`` to evolve a state
+    larger than a byte budget out-of-core; ``None`` uses the process
+    default.  :attr:`nbytes` reports the amplitude footprint the engines'
+    memory models are expressed in (see README "Simulation backends").
     """
 
     def __init__(
@@ -81,6 +84,13 @@ class Statevector:
         return Statevector(
             self.num_wires, self.dim, self.data.copy(), backend=self.backend, copy=False
         )
+
+    @property
+    def nbytes(self) -> int:
+        """Amplitude bytes (``16·dⁿ``) — the ``S`` of the backend memory
+        models; compare against a streaming ``memory_budget`` to predict
+        whether evolution stays in RAM."""
+        return int(self.data.nbytes)
 
     # ------------------------------------------------------------------
     # Evolution

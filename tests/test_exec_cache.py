@@ -344,3 +344,90 @@ def test_cached_circuit_is_table_backed():
     warm = compile_lowered("mct", 3, 3, cache=cache)
     assert isinstance(warm.circuit, QuditCircuit)
     assert warm.circuit.cached_table is not None  # column kernels stay live
+
+
+# ----------------------------------------------------------------------
+# Zero-copy mmap loading (PR-6)
+# ----------------------------------------------------------------------
+def _sample_table(seed=3, dim=3):
+    return random_circuit(seed, num_wires=3, dim=dim, num_ops=18, max_controls=3).to_table()
+
+
+def test_mmap_load_is_zero_copy_and_equal(tmp_path):
+    table = _sample_table()
+    path = tmp_path / "t.npz"
+    save_table(path, table)
+    mapped = load_table(path, mmap_mode="r")
+    copied = load_table(path)
+    for via_map, via_copy in zip(mapped.columns, copied.columns):
+        assert np.array_equal(via_map, via_copy)
+        # Mapped columns are read-only views into the archive mapping, not
+        # heap copies: a base chain exists and ends at the shared buffer.
+        assert not via_map.flags.writeable
+        assert via_map.base is not None
+    state = np.zeros(table.dim**table.num_wires, dtype=complex)
+    state[1] = 1.0
+    from repro.sim import get_backend
+
+    dense = get_backend("dense")
+    assert np.array_equal(
+        dense.apply_table(state.copy(), mapped), dense.apply_table(state.copy(), table)
+    )
+
+
+def test_cache_get_maps_by_default_and_copies_when_disabled(tmp_path):
+    table = _sample_table(seed=4)
+    key = "ee" * 8
+    mapped_cache = CompileCache(tmp_path)
+    mapped_cache.put(key, table, {"k": 1})
+    mapped_cache.clear_memo()
+    hit = mapped_cache.get(key)
+    assert hit is not None and hit.source == "disk"
+    assert not hit.table.columns[0].flags.writeable
+    assert hit.table.columns[0].base is not None
+
+    plain_cache = CompileCache(tmp_path, mmap_mode=None)
+    plain_cache.clear_memo()
+    plain_hit = plain_cache.get(key)
+    assert plain_hit is not None
+    for a, b in zip(hit.table.columns, plain_hit.table.columns):
+        assert np.array_equal(a, b)
+
+
+def test_truncated_archive_is_a_miss_under_mmap(tmp_path):
+    table = _sample_table(seed=5)
+    key = "ab" * 8
+    cache = CompileCache(tmp_path)  # mmap_mode="r" default
+    cache.put(key, table, {"k": 1})
+    cache.clear_memo()
+    npz_path = tmp_path / f"{key}.npz"
+    payload = npz_path.read_bytes()
+    # Truncate mid-member: the zip directory (at the tail) is gone and some
+    # member payloads are cut short — every failure mode must be a miss.
+    for keep in (len(payload) // 2, len(payload) - 10, 40):
+        cache.put(key, table, {"k": 1})
+        npz_path.write_bytes(payload[:keep])
+        cache.clear_memo()
+        assert cache.get(key) is None
+        assert not npz_path.exists()  # dropped for a clean rebuild
+
+
+def test_mmap_loader_reads_legacy_compressed_archives(tmp_path):
+    # Archives written by the PR-5 savez_compressed layout predate the
+    # mmap path; their members are DEFLATEd and must copy-load cleanly.
+    table = _sample_table(seed=6)
+    path = tmp_path / "legacy.npz"
+    from repro.exec.serialize import table_to_arrays
+
+    np.savez_compressed(path, **table_to_arrays(table))
+    mapped = load_table(path, mmap_mode="r")
+    for a, b in zip(mapped.columns, table.columns):
+        assert np.array_equal(a, b)
+
+
+def test_mmap_mode_requires_read_only(tmp_path):
+    table = _sample_table(seed=7)
+    path = tmp_path / "t.npz"
+    save_table(path, table)
+    with pytest.raises(CacheError):
+        load_table(path, mmap_mode="r+")

@@ -43,3 +43,34 @@ def test_single_case_replay_matches_report_contract():
     divergences = fuzz_case(17, ("round-trip", "backends", "inverse"), report)
     assert divergences == []
     assert report.oracle_runs == {"round-trip": 1, "backends": 1, "inverse": 1}
+
+
+def test_backends_oracle_covers_every_registered_engine():
+    """The oracle's path list is registry-driven, not a hard-coded tuple.
+
+    A custom engine registered at runtime (here: streaming with a one-row
+    tile budget, the harshest tiling configuration) must be fuzzed
+    automatically by the ``backends`` oracle — per-op and fused paths both.
+    """
+    from repro.sim import StreamingBackend, register_backend, unregister_backend
+
+    register_backend(StreamingBackend(4096), name="tiny-streaming")
+    try:
+        report = fuzz_run(seed=0, max_cases=8, oracles=["backends"])
+        assert report.ok, json.dumps(report.to_json(), indent=2, ensure_ascii=False)
+        assert report.oracle_runs == {"backends": 8}
+    finally:
+        unregister_backend("tiny-streaming")
+
+
+def test_streaming_seeded_block_stays_clean():
+    """Seeds 0-7, backends oracle, streaming registered with a tiny budget.
+
+    Pins the PR-6 segment-fusion + tiling kernels against the fuzz
+    generator's full op mix: if tiling ever drifts from dense by a single
+    bit, allclose(atol=1e-9) in the oracle still catches sign/permutation
+    bugs, and the dedicated bit-for-bit suite in
+    ``tests/test_streaming_backend.py`` catches rounding drift.
+    """
+    report = fuzz_run(seed=100, max_cases=8, oracles=["backends"])
+    assert report.ok, json.dumps(report.to_json(), indent=2, ensure_ascii=False)

@@ -1,0 +1,282 @@
+"""The streaming backend and the segment-fusion layer underneath it.
+
+The streaming contract is *bit-for-bit* equality with ``dense`` (not just
+``allclose``): permutation segments are exact integer gathers, and the tiled
+unitary kernel runs the same fixed-order einsum per output element as the
+dense engine regardless of tile extents.  Every comparison below is
+``np.array_equal``.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GateError
+from repro.ir import OP_UNITARY, Segment, compose_gather, segment_bounds, segment_table
+from repro.qudit.circuit import QuditCircuit
+from repro.qudit.controls import Odd, Value
+from repro.qudit.gates import SingleQuditUnitary, XPerm, XPlus
+from repro.qudit.operations import StarShiftOp
+from repro.sim import (
+    DEFAULT_MEMORY_BUDGET,
+    NUMBA_AVAILABLE,
+    StreamingBackend,
+    backend_availability,
+    available_backends,
+    get_backend,
+    parse_memory_budget,
+)
+from repro.utils import permutations as perm_utils
+
+
+def mixed_circuit(seed, num_wires=3, dim=3, num_ops=12):
+    rng = random.Random(seed)
+    circuit = QuditCircuit(num_wires, dim, name=f"mixed{seed}")
+    for _ in range(num_ops):
+        wires = rng.sample(range(num_wires), min(2, num_wires))
+        kind = rng.randrange(4 if num_wires > 1 else 2)
+        if kind == 0:
+            circuit.add_gate(XPlus(dim, rng.randrange(1, dim)), wires[0])
+        elif kind == 1:
+            phases = np.exp(2j * np.pi * np.array([rng.random() for _ in range(dim)]))
+            controls = (
+                [(wires[1], Value(rng.randrange(dim)))]
+                if num_wires > 1 and rng.randrange(2)
+                else []
+            )
+            circuit.add_gate(SingleQuditUnitary(np.diag(phases), label="D"), wires[0], controls)
+        elif kind == 2:
+            predicate = rng.choice([Value(rng.randrange(dim)), Odd()])
+            circuit.add_gate(
+                XPerm(perm_utils.random_permutation(dim, rng)),
+                wires[0],
+                [(wires[1], predicate)],
+            )
+        else:
+            circuit.append(StarShiftOp(wires[0], wires[1], rng.choice([+1, -1])))
+    return circuit
+
+
+def random_state(dim, num_wires, seed, batch=None):
+    rng = np.random.default_rng(seed)
+    shape = (dim**num_wires,) if batch is None else (dim**num_wires, batch)
+    data = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+    return data / np.linalg.norm(data)
+
+
+def dense_reference(circuit, data):
+    return get_backend("dense").apply_table(np.array(data), circuit.to_table())
+
+
+# ----------------------------------------------------------------------
+# Segment layer
+# ----------------------------------------------------------------------
+class TestSegmentation:
+    def test_bounds_split_exactly_at_unitary_rows(self):
+        circuit = mixed_circuit(3, num_ops=20)
+        table = circuit.to_table()
+        bounds = segment_bounds(table)
+        # The bounds tile [0, len) without gaps or overlaps.
+        assert bounds[0][0] == 0 and bounds[-1][1] == len(table)
+        for (_, stop, _), (start, _, _) in zip(bounds, bounds[1:]):
+            assert stop == start
+        for start, stop, is_perm in bounds:
+            rows = table.opcode[start:stop]
+            if is_perm:
+                assert not np.any(rows == OP_UNITARY)
+            else:
+                assert stop - start == 1 and rows[0] == OP_UNITARY
+
+    def test_whole_circuit_segment_for_permutation_circuits(self):
+        circuit = QuditCircuit(2, 3)
+        circuit.add_gate(XPlus(3, 1), 0)
+        circuit.add_gate(XPlus(3, 2), 1, [(0, Value(2))])
+        segments = segment_table(circuit.to_table())
+        assert len(segments) == 1
+        assert segments[0].kind == "perm"
+        assert segments[0].num_rows == 2
+
+    def test_compose_gather_matches_per_op_walk(self):
+        circuit = QuditCircuit(2, 3)
+        circuit.add_gate(XPlus(3, 1), 0)
+        circuit.add_gate(XPerm((1, 0, 2)), 1, [(0, Odd())])
+        table = circuit.to_table()
+        fused = compose_gather(table, 0, len(table))
+        assert np.array_equal(fused, table.permutation_index_table())
+        ops, row_map = table.unique_ops()
+        walked = np.arange(9)
+        for row in range(len(table)):
+            walked = ops[row_map[row]].permutation_table(3, 2)[walked]
+        assert np.array_equal(fused, walked)
+
+    def test_compose_gather_rejects_unitary_rows(self):
+        circuit = QuditCircuit(1, 2)
+        circuit.add_gate(SingleQuditUnitary(np.eye(2), label="I"), 0)
+        with pytest.raises(GateError):
+            compose_gather(circuit.to_table(), 0, 1)
+
+    def test_inverse_table_is_the_inverse(self):
+        circuit = mixed_circuit(11, num_ops=8)
+        table = circuit.to_table()
+        for segment in segment_table(table):
+            if segment.kind != "perm":
+                continue
+            forward = segment.index_table()
+            inverse = segment.inverse_index_table()
+            assert np.array_equal(forward[inverse], np.arange(forward.size))
+
+    def test_segments_interned_across_identical_tables(self):
+        # Two structurally identical circuits sharing a pool set intern one
+        # composed gather array (same object), and the cache counts the hit.
+        circuit = QuditCircuit(2, 3)
+        circuit.add_gate(XPlus(3, 1), 0)
+        circuit.add_gate(XPlus(3, 2), 1)
+        table = circuit.to_table()
+        pool = table.pools.segments
+        first = compose_gather(table, 0, len(table))
+        builds = pool.builds
+        again = compose_gather(table, 0, len(table))
+        assert again is first
+        assert pool.builds == builds and pool.hits >= 1
+        assert not first.flags.writeable
+
+    def test_unitary_segment_exposes_its_op(self):
+        circuit = QuditCircuit(1, 2)
+        circuit.add_gate(SingleQuditUnitary(np.eye(2), label="I"), 0)
+        (segment,) = segment_table(circuit.to_table())
+        assert segment.kind == "unitary"
+        assert segment.op().gate.label == "I"
+
+
+# ----------------------------------------------------------------------
+# parse_memory_budget
+# ----------------------------------------------------------------------
+class TestParseMemoryBudget:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            (4096, 4096),
+            ("4096", 4096),
+            ("512k", 512 * 1024),
+            ("512K", 512 * 1024),
+            ("8M", 8 * 1024**2),
+            ("8MiB", 8 * 1024**2),
+            ("1g", 1024**3),
+            ("1 GB", 1024**3),
+        ],
+    )
+    def test_accepted(self, text, expected):
+        assert parse_memory_budget(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "eight", "8T", "-4", "0", 0, -1, "1.5M"])
+    def test_rejected(self, text):
+        with pytest.raises(GateError):
+            parse_memory_budget(text)
+
+    def test_default_constructor_uses_default_budget(self):
+        assert StreamingBackend().memory_budget == DEFAULT_MEMORY_BUDGET
+        assert StreamingBackend("2M").memory_budget == 2 * 1024**2
+
+
+# ----------------------------------------------------------------------
+# Bit-for-bit equality with dense, across tile-boundary edge cases
+# ----------------------------------------------------------------------
+# 1 byte forces one-row tiles; 100 is a non-divisor of every d^n used here;
+# the larger budgets keep everything in RAM (pure fusion path).
+EDGE_BUDGETS = [1, 100, 4096, 10**9]
+
+
+class TestStreamingBitForBit:
+    @pytest.mark.parametrize("budget", EDGE_BUDGETS)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mixed_circuit_single_state(self, seed, budget):
+        circuit = mixed_circuit(seed, num_wires=3, dim=3, num_ops=14)
+        data = random_state(3, 3, seed)
+        expected = dense_reference(circuit, data)
+        actual = StreamingBackend(budget).apply_table(np.array(data), circuit.to_table())
+        assert np.array_equal(np.asarray(actual), expected)
+
+    @pytest.mark.parametrize("budget", EDGE_BUDGETS)
+    @pytest.mark.parametrize("seed", range(2))
+    def test_mixed_circuit_batched(self, seed, budget):
+        circuit = mixed_circuit(20 + seed, num_wires=3, dim=3, num_ops=12)
+        data = random_state(3, 3, seed, batch=5)
+        expected = dense_reference(circuit, data)
+        engine = StreamingBackend(budget)
+        actual = engine.apply_table_batch(np.array(data), circuit.to_table())
+        assert np.array_equal(np.asarray(actual), expected)
+
+    def test_budget_smaller_than_one_batch_row(self):
+        # One (d^n, B) row is B complex entries = 80 bytes > the 16-byte
+        # budget: the tiler must clamp to one-row tiles and stay exact.
+        circuit = mixed_circuit(31, num_wires=2, dim=3, num_ops=10)
+        data = random_state(3, 2, 31, batch=5)
+        expected = dense_reference(circuit, data)
+        actual = StreamingBackend(16).apply_table_batch(np.array(data), circuit.to_table())
+        assert np.array_equal(np.asarray(actual), expected)
+
+    @pytest.mark.parametrize("budget", [1, 64, 10**9])
+    def test_width_one_circuit(self, budget):
+        circuit = mixed_circuit(5, num_wires=1, dim=4, num_ops=6)
+        data = random_state(4, 1, 5)
+        expected = dense_reference(circuit, data)
+        actual = StreamingBackend(budget).apply_table(np.array(data), circuit.to_table())
+        assert np.array_equal(np.asarray(actual), expected)
+
+    def test_whole_circuit_permutation_segment(self):
+        circuit = QuditCircuit(3, 3)
+        for wire in range(3):
+            circuit.add_gate(XPlus(3, 1 + wire % 2), wire)
+        circuit.add_gate(XPerm((2, 0, 1)), 0, [(1, Value(1))])
+        data = random_state(3, 3, 7)
+        expected = dense_reference(circuit, data)
+        actual = StreamingBackend(100).apply_table(np.array(data), circuit.to_table())
+        assert np.array_equal(np.asarray(actual), expected)
+
+    def test_statevector_larger_than_budget_goes_out_of_core(self):
+        # d^n = 729 complex amplitudes = 11664 bytes >> the 256-byte budget:
+        # the scratch arrays must be memmaps, and still bit-for-bit equal.
+        circuit = mixed_circuit(42, num_wires=6, dim=3, num_ops=10)
+        data = random_state(3, 6, 42)
+        expected = dense_reference(circuit, data)
+        actual = StreamingBackend(256).apply_table(np.array(data), circuit.to_table())
+        assert isinstance(actual, np.memmap)
+        assert np.array_equal(np.asarray(actual), expected)
+
+    def test_apply_circuit_and_per_op_paths(self):
+        circuit = mixed_circuit(9, num_wires=3, dim=3, num_ops=9)
+        data = random_state(3, 3, 9)
+        expected = dense_reference(circuit, data)
+        engine = StreamingBackend(128)
+        via_circuit = engine.apply_circuit(np.array(data), circuit)
+        assert np.array_equal(np.asarray(via_circuit), expected)
+        per_op = np.array(data)
+        for op in circuit:
+            per_op = engine.apply_op(per_op, op, circuit.dim, circuit.num_wires)
+        assert np.allclose(np.asarray(per_op), expected, atol=1e-12)
+
+    def test_batch_requires_two_dims(self):
+        circuit = mixed_circuit(1, num_wires=2, dim=2, num_ops=3)
+        with pytest.raises(GateError):
+            StreamingBackend().apply_table_batch(
+                np.zeros(4, dtype=complex), circuit.to_table()
+            )
+
+
+# ----------------------------------------------------------------------
+# Registry and availability
+# ----------------------------------------------------------------------
+class TestAvailability:
+    def test_streaming_is_registered(self):
+        assert "streaming" in available_backends()
+        assert isinstance(get_backend("streaming"), StreamingBackend)
+
+    def test_availability_report_covers_numba_either_way(self):
+        report = backend_availability()
+        for name in available_backends():
+            assert report[name] == "available"
+        if NUMBA_AVAILABLE:
+            assert report["numba"] == "available"
+        else:
+            assert "numba" in report["numba"] and report["numba"] != "available"

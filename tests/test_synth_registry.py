@@ -139,11 +139,17 @@ class TestCli:
         out = capsys.readouterr().out
         assert "mct-clean-ladder" in out
         assert "Registered synthesis strategies" in out
+        assert "Simulation backends:" in out
+        assert "streaming" in out
 
     def test_list_json(self, capsys):
         assert cli_main(["list", "--json"]) == 0
-        rows = json.loads(capsys.readouterr().out)
-        assert {row["name"] for row in rows} >= {"mct", "pk"}
+        payload = json.loads(capsys.readouterr().out)
+        assert {row["name"] for row in payload["strategies"]} >= {"mct", "pk"}
+        assert payload["backends"]["dense"] == "available"
+        # Every entry is either registered or carries a one-line reason.
+        for status in payload["backends"].values():
+            assert status == "available" or status
 
     def test_estimate_single_strategy(self, capsys):
         assert cli_main(["estimate", "3", "40", "--strategy", "mct-clean-ladder"]) == 0
