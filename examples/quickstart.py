@@ -229,6 +229,55 @@ def main() -> None:
         "  (python -m repro batch --workload spec.json --jobs 4 --cache-dir ... "
         "runs whole request lists)"
     )
+    print()
+
+    # ------------------------------------------------------------------
+    # 10. Design-space exploration: sweep, frontier, tuning DB.
+    # ------------------------------------------------------------------
+    # One estimate_batch call prices a whole k grid (numpy arithmetic per
+    # residue class); run_sweep covers strategy × d × k, and the resulting
+    # TuningDB answers auto_select from sorted arrays — bit-for-bit the
+    # same pick as live estimation, which it falls back to off its region.
+    import numpy as np
+
+    from repro.dse import SweepSpec, TuningDB, frontier_report, run_sweep
+
+    print("== Design-space exploration: batch estimation + tuning DB ==")
+    mct = synth.get("mct")
+    ks = np.arange(1, 10_001)
+    mct.estimate_batch(3, ks)  # one-time calibration + small-k measurements
+    start = time.perf_counter()
+    batched = mct.estimate_batch(3, ks)
+    batch_seconds = time.perf_counter() - start
+    assert batched.row(9_999) == mct.estimate(3, 10_000)
+    print(
+        f"  estimate_batch(mct, d=3, {len(ks)} points, warm): "
+        f"{batch_seconds*1000:.1f} ms ({batch_seconds/len(ks)*1e9:.0f} ns/point)"
+    )
+
+    store = run_sweep(SweepSpec(dims=(3,), k_stop=24))
+    db = TuningDB.from_sweep(store)
+    report = frontier_report(store)
+    crossovers = report["dims"]["3"]["crossovers"]
+    print(f"  swept {store.counts()['points']} points; d=3 winner crossovers:")
+    for crossover in crossovers:
+        print(f"    k={crossover['k']}: {crossover['from']} -> {crossover['to']}")
+    live = synth.auto_select(3, 20)  # live estimation, before the DB is installed
+    synth.use_tuning_db(db)
+    try:
+        choice = synth.auto_select(3, 20)
+        print(
+            f"  auto_select(3, 20) -> {choice.strategy.name} "
+            f"(source: {choice.source}, two-qudit {choice.resources.two_qudit_gates})"
+        )
+        assert choice.source == "tuning-db"
+        assert choice.resources == live.resources  # bit-for-bit the live pick
+    finally:
+        synth.use_tuning_db(None)
+    print(
+        "  (python -m repro dse --jobs 4 --db tuning.npz sweeps and persists; "
+        "estimate/synthesize take --tuning-db)"
+    )
 
 
 if __name__ == "__main__":

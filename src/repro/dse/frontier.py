@@ -1,0 +1,288 @@
+"""Pareto skyline kernel and frontier reports over swept design points.
+
+:func:`pareto_mask` is the generic kernel: given an ``(n, m)`` cost matrix
+(every objective minimised), it marks the non-dominated rows.  A point is
+dominated iff some other point is ≤ in **every** objective and < in at
+least one; duplicates of a frontier point all stay on the frontier (the
+semantics a brute-force double loop gives, which the tests cross-check).
+
+:func:`scenario_frontiers` applies the kernel per scenario: for every
+``(d, k)`` of a sweep it marks which strategies are Pareto-optimal across
+(G-gates, depth, two-qudit gates, total ancillas) — the paper's cost axes.
+Strategy counts are tiny (≤ 16), so all scenarios are judged at once with
+one vectorized S × S pairwise comparison over the whole k grid instead of
+n independent skyline calls.
+
+:func:`frontier_report` packages the per-dimension winner tables, frontier
+memberships and an ASCII winner chart into one JSON-able report (the shape
+hardware DSE flows emit for area/timing sweeps).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DSEError
+from repro.dse.sweep import STATUS_ERROR, PointStore
+
+#: Default frontier objectives (all minimised).  ``ancilla_total`` is the
+#: sum of the four ancilla-kind columns.
+DEFAULT_OBJECTIVES: Tuple[str, ...] = (
+    "g_gates",
+    "depth",
+    "two_qudit_gates",
+    "ancilla_total",
+)
+
+
+def pareto_mask(costs: np.ndarray) -> np.ndarray:
+    """Boolean mask of Pareto-optimal rows of an ``(n, m)`` cost matrix.
+
+    Every objective is minimised.  Exact for duplicates and degenerate
+    (constant) objectives: a row is kept iff **no** row strictly dominates
+    it.  Two objectives use the O(n log n) sort + running-minimum skyline;
+    more use a lexsorted compression scan over the unique rows (worst-case
+    quadratic in the frontier size, near-linear on real cost clouds).
+    """
+    costs = np.asarray(costs)
+    if costs.ndim != 2:
+        raise DSEError(f"pareto_mask needs an (n, m) matrix, got shape {costs.shape}")
+    n, m = costs.shape
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    if m == 0:
+        raise DSEError("pareto_mask needs at least one objective column")
+    unique, inverse = np.unique(costs, axis=0, return_inverse=True)
+    if m == 1:
+        unique_mask = unique[:, 0] == unique[:, 0].min()
+    elif m == 2:
+        unique_mask = _pareto_unique_2d(unique)
+    else:
+        unique_mask = _pareto_unique_nd(unique)
+    return unique_mask[inverse.reshape(-1)]
+
+
+def _pareto_unique_2d(unique: np.ndarray) -> np.ndarray:
+    """Skyline of unique rows sorted by (x asc, y asc): keep strict y minima."""
+    # np.unique already lexsorted the rows, so y is ascending within equal
+    # x: only the first row of each x group can survive, and it does iff
+    # its y beats every earlier group's best y.
+    x, y = unique[:, 0], unique[:, 1]
+    first_of_group = np.empty(len(unique), dtype=bool)
+    first_of_group[0] = True
+    first_of_group[1:] = x[1:] != x[:-1]
+    best_before = np.minimum.accumulate(y)  # includes self; shift below
+    mask = np.empty(len(unique), dtype=bool)
+    mask[0] = True
+    mask[1:] = y[1:] < best_before[:-1]
+    return mask & first_of_group
+
+
+def _pareto_unique_nd(unique: np.ndarray) -> np.ndarray:
+    """Compression scan over unique rows (is-pareto-efficient style).
+
+    Rows are pre-sorted by objective sum so early candidates kill many
+    later rows at once.  Because the rows are unique, "no objective of the
+    candidate is beaten" (``not any(<)``) is exactly weak domination, so
+    one pass per surviving candidate suffices.
+    """
+    order = np.argsort(unique.sum(axis=1), kind="stable")
+    costs = unique[order]
+    surviving = np.arange(len(costs))
+    cursor = 0
+    while cursor < len(costs):
+        keep = np.any(costs < costs[cursor], axis=1)
+        keep[cursor] = True
+        surviving = surviving[keep]
+        costs = costs[keep]
+        cursor = int(np.sum(keep[:cursor])) + 1
+    mask = np.zeros(len(unique), dtype=bool)
+    mask[order[surviving]] = True
+    return mask
+
+
+# ----------------------------------------------------------------------
+# Scenario frontiers over a point store
+# ----------------------------------------------------------------------
+def _objective_cube(
+    store: PointStore, dim: int, pipeline: str, objectives: Sequence[str]
+) -> Tuple[np.ndarray, List[str], np.ndarray, np.ndarray]:
+    """Align one dimension's points on a common k grid.
+
+    Returns ``(ks, strategy_names, cube, valid)`` where ``cube`` has shape
+    ``(S, len(ks), len(objectives))`` and ``valid`` marks (strategy, k)
+    cells that hold a usable row (present and not a recorded failure).
+    """
+    cols = store.columns
+    try:
+        pid = store.pipelines.index(pipeline)
+    except ValueError:
+        raise DSEError(
+            f"pipeline {pipeline!r} is not in this store (has {store.pipelines})"
+        ) from None
+    rows = (cols["dim"] == dim) & (cols["pipeline_id"] == pid)
+    if not rows.any():
+        raise DSEError(f"store has no points at d={dim} for pipeline {pipeline!r}")
+    ks = np.unique(cols["k"][rows])
+    sids = np.unique(cols["strategy_id"][rows])
+    names = [store.strategies[int(s)] for s in sids]
+    ancilla_total = (
+        cols["anc_clean"] + cols["anc_borrowed"] + cols["anc_burnable"] + cols["anc_garbage"]
+    )
+    cube = np.zeros((len(sids), len(ks), len(objectives)), dtype=np.int64)
+    valid = np.zeros((len(sids), len(ks)), dtype=bool)
+    for si, sid in enumerate(sids):
+        mine = rows & (cols["strategy_id"] == sid)
+        k_index = np.searchsorted(ks, cols["k"][mine])
+        valid[si, k_index] = cols["status"][mine] != STATUS_ERROR
+        for oi, objective in enumerate(objectives):
+            if objective == "ancilla_total":
+                column = ancilla_total[mine]
+            elif objective in cols:
+                column = cols[objective][mine]
+            else:
+                raise DSEError(
+                    f"unknown objective {objective!r}; store columns: "
+                    f"{sorted(store.column_names())} + ancilla_total"
+                )
+            cube[si, k_index, oi] = column
+    return ks, names, cube, valid
+
+
+def scenario_frontiers(
+    store: PointStore,
+    dim: int,
+    *,
+    pipeline: str = "default",
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+) -> Dict[str, object]:
+    """Pareto-optimal strategies per ``k`` at one dimension.
+
+    Returns ``{"ks": (n,), "strategies": [names], "frontier": (S, n) bool,
+    "valid": (S, n) bool}``; ``frontier[s, i]`` says strategy ``s`` is
+    non-dominated at ``(dim, ks[i])``.  All k points are judged at once:
+    dominance is an S × S pairwise comparison vectorized over the k axis.
+    """
+    ks, names, cube, valid = _objective_cube(store, dim, pipeline, objectives)
+    S = len(names)
+    dominated = np.zeros((S, len(ks)), dtype=bool)
+    for s in range(S):
+        for t in range(S):
+            if s == t:
+                continue
+            # t dominates s wherever both are valid, t ≤ s everywhere and
+            # t < s somewhere.
+            le = np.all(cube[t] <= cube[s], axis=-1)
+            lt = np.any(cube[t] < cube[s], axis=-1)
+            dominated[s] |= valid[t] & valid[s] & le & lt
+    return {
+        "ks": ks,
+        "strategies": names,
+        "frontier": valid & ~dominated,
+        "valid": valid,
+    }
+
+
+# ----------------------------------------------------------------------
+# Report / chart emission
+# ----------------------------------------------------------------------
+def _winner_chart(ks: np.ndarray, names: List[str], winners: np.ndarray, width: int = 64) -> List[str]:
+    """ASCII winner-by-region chart: one glyph per sampled k."""
+    glyphs = "ABCDEFGHIJKLMNOP"
+    if len(ks) == 0:
+        return []
+    sample = np.linspace(0, len(ks) - 1, min(width, len(ks))).astype(int)
+    line = "".join(
+        glyphs[int(winners[i]) % len(glyphs)] if winners[i] >= 0 else "." for i in sample
+    )
+    legend = [f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(names)]
+    return [
+        f"k {int(ks[sample[0]])} .. {int(ks[sample[-1]])}",
+        line,
+        "legend: " + ", ".join(legend) + " (.=no applicable strategy)",
+    ]
+
+
+def frontier_report(
+    store: PointStore,
+    *,
+    pipeline: str = "default",
+    metric: str = "two_qudit_gates",
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+    sample_points: int = 8,
+) -> Dict[str, object]:
+    """JSON-able frontier summary of one swept store.
+
+    Per dimension: the cheapest strategy by ``metric`` over the k grid
+    (with win counts and crossover points), the Pareto frontier membership
+    at sampled ks, and an ASCII winner chart.
+    """
+    dims = sorted(int(d) for d in np.unique(store.columns["dim"]))
+    report: Dict[str, object] = {
+        "pipeline": pipeline,
+        "metric": metric,
+        "objectives": list(objectives),
+        "points": store.counts(),
+        "dims": {},
+    }
+    for dim in dims:
+        ks, names, cube, valid = _objective_cube(store, dim, pipeline, (metric,))
+        costs = cube[:, :, 0].astype(float)
+        costs[~valid] = np.inf
+        any_valid = valid.any(axis=0)
+        winners = np.where(any_valid, np.argmin(costs, axis=0), -1)
+        frontiers = scenario_frontiers(
+            store, dim, pipeline=pipeline, objectives=objectives
+        )
+        sample = np.linspace(0, len(ks) - 1, min(sample_points, len(ks))).astype(int)
+        crossovers = [
+            {"k": int(ks[i]), "from": names[int(winners[i - 1])], "to": names[int(winners[i])]}
+            for i in range(1, len(ks))
+            if winners[i] != winners[i - 1] and winners[i] >= 0 and winners[i - 1] >= 0
+        ]
+        report["dims"][str(dim)] = {
+            "ks": {"start": int(ks[0]), "stop": int(ks[-1]), "count": len(ks)},
+            "strategies": names,
+            "win_counts": {
+                name: int(np.sum(winners == i)) for i, name in enumerate(names)
+            },
+            "crossovers": crossovers,
+            "frontier_samples": [
+                {
+                    "k": int(ks[i]),
+                    "frontier": [
+                        names[s] for s in range(len(names)) if frontiers["frontier"][s, i]
+                    ],
+                }
+                for i in sample
+            ],
+            "chart": _winner_chart(ks, names, winners),
+        }
+    return report
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human-readable rendering of a :func:`frontier_report` dict."""
+    lines = [
+        f"DSE frontier report — metric={report['metric']}, "
+        f"pipeline={report['pipeline']}, points={report['points']['points']}"
+    ]
+    for dim, block in sorted(report["dims"].items(), key=lambda kv: int(kv[0])):
+        lines.append(f"\nd={dim}  (k {block['ks']['start']}..{block['ks']['stop']})")
+        for name, wins in sorted(
+            block["win_counts"].items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  wins[{name}] = {wins}")
+        for crossover in block["crossovers"]:
+            lines.append(
+                f"  crossover at k={crossover['k']}: "
+                f"{crossover['from']} -> {crossover['to']}"
+            )
+        lines.extend("  " + line for line in block["chart"])
+        for sample in block["frontier_samples"]:
+            lines.append(
+                f"  pareto k={sample['k']}: {', '.join(sample['frontier']) or '-'}"
+            )
+    return "\n".join(lines)

@@ -53,6 +53,12 @@ class WorkloadError(ReproError):
     kind, missing fields, or values the referenced strategy rejects."""
 
 
+class DSEError(ReproError):
+    """Raised by the design-space exploration layer: a malformed sweep
+    spec, a tuning database whose code-version salt or digest does not
+    match, or a frontier query over objectives the store does not carry."""
+
+
 class EstimationError(ReproError):
     """Raised when the analytic resource estimator cannot produce an exact
     count — an unsupported strategy/parameter combination, or a calibration

@@ -39,6 +39,26 @@ DEFAULT_MAX_DISK_BYTES = 256 * 1024 * 1024
 DEFAULT_MAX_MEMO_ENTRIES = 128
 
 
+def atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file lives in the destination directory so the final rename
+    never crosses a filesystem; concurrent writers of the same path leave
+    whichever replacement lands last, never a torn file.  Shared by the
+    cache sidecars and the tuning-database writer.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=path.suffix + ".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+
+
 @dataclass
 class CacheStats:
     """Counters for one cache instance (reset with :meth:`CompileCache.reset_stats`)."""
@@ -110,8 +130,31 @@ class CompileCache:
         return key
 
     def _paths(self, key: str) -> Tuple[Path, Path]:
+        """Canonical (sharded) location of an entry: ``<dir>/<key[:2]>/<key>.*``.
+
+        Sharding by the first two hex characters of the content address
+        spreads entries over 256 subdirectories, so many pool workers (or
+        nodes sharing a network store) stop contending on one huge flat
+        directory's lock/readdir path.
+        """
+        assert self.cache_dir is not None
+        shard = self.cache_dir / key[:2]
+        return shard / f"{key}.npz", shard / f"{key}.json"
+
+    def _flat_paths(self, key: str) -> Tuple[Path, Path]:
+        """Legacy flat location (stores written before sharding)."""
         assert self.cache_dir is not None
         return self.cache_dir / f"{key}.npz", self.cache_dir / f"{key}.json"
+
+    def _read_paths(self, key: str) -> Tuple[Path, Path]:
+        """Where to read an entry from: sharded first, flat fallback."""
+        npz_path, meta_path = self._paths(key)
+        if npz_path.exists() or meta_path.exists():
+            return npz_path, meta_path
+        flat_npz, flat_meta = self._flat_paths(key)
+        if flat_npz.exists() or flat_meta.exists():
+            return flat_npz, flat_meta
+        return npz_path, meta_path
 
     # ------------------------------------------------------------------
     # Read path
@@ -131,7 +174,7 @@ class CompileCache:
         if self.cache_dir is None:
             self.stats.misses += 1
             return None
-        npz_path, meta_path = self._paths(key)
+        npz_path, meta_path = self._read_paths(key)
         if not npz_path.exists():
             # Clean up a sidecar orphaned by a crash between the two writes.
             if meta_path.exists():
@@ -159,7 +202,7 @@ class CompileCache:
     def __contains__(self, key: str) -> bool:
         if key in self._memo:
             return True
-        return self.cache_dir is not None and self._paths(self._check_key(key))[0].exists()
+        return self.cache_dir is not None and self._read_paths(self._check_key(key))[0].exists()
 
     # ------------------------------------------------------------------
     # Write path
@@ -173,17 +216,18 @@ class CompileCache:
         if self.cache_dir is None:
             return entry
         npz_path, meta_path = self._paths(key)
+        npz_path.parent.mkdir(parents=True, exist_ok=True)
         # Sidecar first, table second, both atomic: an entry is visible
         # (npz present) only once its metadata is complete, and a crash
         # between the two leaves an orphan sidecar that get() cleans up.
-        self._atomic_write(
+        atomic_write_bytes(
             meta_path,
             json.dumps(entry.meta, indent=2, sort_keys=True, ensure_ascii=False).encode(
                 "utf-8"
             )
             + b"\n",
         )
-        fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".npz.tmp")
+        fd, tmp_name = tempfile.mkstemp(dir=npz_path.parent, suffix=".npz.tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
                 save_table(handle, table)
@@ -194,17 +238,6 @@ class CompileCache:
             raise
         self._evict_over_budget(protect=key)
         return entry
-
-    def _atomic_write(self, path: Path, payload: bytes) -> None:
-        fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".json.tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(payload)
-            os.replace(tmp_name, path)
-        except BaseException:
-            if os.path.exists(tmp_name):
-                os.unlink(tmp_name)
-            raise
 
     # ------------------------------------------------------------------
     # Bookkeeping
@@ -219,17 +252,23 @@ class CompileCache:
         self._memo.pop(key, None)
         if self.cache_dir is None:
             return
-        for path in self._paths(key):
+        for path in self._paths(key) + self._flat_paths(key):
             try:
                 path.unlink()
             except OSError:
                 pass
 
+    def _disk_npz_files(self) -> List[Path]:
+        """Every table archive on disk, across both store layouts."""
+        assert self.cache_dir is not None
+        files = list(self.cache_dir.glob("*.npz"))
+        files.extend(self.cache_dir.glob("[0-9a-f][0-9a-f]/*.npz"))
+        return files
+
     def _disk_entries(self) -> List[Tuple[float, int, str]]:
         """(mtime, bytes, key) for every on-disk entry, oldest first."""
-        assert self.cache_dir is not None
         entries = []
-        for npz_path in self.cache_dir.glob("*.npz"):
+        for npz_path in self._disk_npz_files():
             try:
                 stat = npz_path.stat()
             except OSError:  # racing eviction from another worker
@@ -257,7 +296,7 @@ class CompileCache:
         """Every key currently retrievable (memo ∪ disk), unordered."""
         out = set(self._memo)
         if self.cache_dir is not None:
-            out.update(path.stem for path in self.cache_dir.glob("*.npz"))
+            out.update(path.stem for path in self._disk_npz_files())
         return sorted(out)
 
     def disk_bytes(self) -> int:

@@ -18,9 +18,15 @@ from repro.resources.cliffordt import (
     yeh_vdw_toffoli_model,
 )
 from repro.resources.estimator import (
+    INT64_MAX,
     METRIC_FIELDS,
     AffineSpec,
+    BatchEstimate,
     Resources,
+    affine_estimate_batch,
+    batch_from_scalar,
+    cache_stats,
+    clear_caches,
     estimate,
     measure,
     sum_estimates,
@@ -34,9 +40,15 @@ __all__ = [
     "clifford_t_estimate",
     "yeh_vdw_reversible_model",
     "yeh_vdw_toffoli_model",
+    "INT64_MAX",
     "METRIC_FIELDS",
     "AffineSpec",
+    "BatchEstimate",
     "Resources",
+    "affine_estimate_batch",
+    "batch_from_scalar",
+    "cache_stats",
+    "clear_caches",
     "estimate",
     "measure",
     "sum_estimates",

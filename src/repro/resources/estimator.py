@@ -31,8 +31,11 @@ the calibration window).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.core.gate_counts import GateCountReport, count_gates
 from repro.exceptions import EstimationError
@@ -144,16 +147,80 @@ class Resources:
 
 
 # ----------------------------------------------------------------------
-# Measured path (small parameters) with a process-wide cache
+# Measured path (small parameters) with a bounded process-wide cache
 # ----------------------------------------------------------------------
-_MEASURED: Dict[Tuple[str, int, int], Resources] = {}
-_CALIBRATION: Dict[Tuple[str, int, int], Tuple[int, Tuple[int, ...], Tuple[int, ...]]] = {}
+class _BoundedCache:
+    """A tiny LRU memo with hit/miss counters.
+
+    The estimator's measured points and calibrations used to live in
+    unbounded module dicts; at service scale (one long-lived process
+    answering ``auto_select`` for arbitrary scenario streams) that is a slow
+    leak, so both layers are now LRU-bounded.  The capacities are generous —
+    a calibration entry is three small tuples, a measured entry one
+    :class:`Resources` — so eviction only triggers under adversarial
+    scenario churn, never in a normal sweep.
+    """
+
+    def __init__(self, max_entries: int):
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[object, object]" = OrderedDict()
+
+    def lookup(self, key):
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def store(self, key, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Capacity of the measured-point memo (one :class:`Resources` per entry).
+MEASURED_CACHE_ENTRIES = 4096
+#: Capacity of the calibration memo (three metric tuples per entry).
+CALIBRATION_CACHE_ENTRIES = 1024
+
+_MEASURED = _BoundedCache(MEASURED_CACHE_ENTRIES)
+_CALIBRATION = _BoundedCache(CALIBRATION_CACHE_ENTRIES)
+
+#: How many circuits :func:`measure` has materialised (cache misses); the
+#: memoization tests assert this stays flat across repeated estimates.
+_MATERIALISATIONS = [0]
+
+
+def cache_stats() -> Dict[str, int]:
+    """Counters of the estimator's bounded memo layers."""
+    return {
+        "measured_entries": len(_MEASURED),
+        "measured_hits": _MEASURED.hits,
+        "measured_misses": _MEASURED.misses,
+        "calibration_entries": len(_CALIBRATION),
+        "calibration_hits": _CALIBRATION.hits,
+        "calibration_misses": _CALIBRATION.misses,
+        "materialisations": _MATERIALISATIONS[0],
+    }
 
 
 def clear_caches() -> None:
     """Drop all measured points and calibrations (mainly for tests)."""
     _MEASURED.clear()
     _CALIBRATION.clear()
+    _MATERIALISATIONS[0] = 0
 
 
 def measure(strategy: "Synthesizer", dim: int, k: int) -> Resources:
@@ -165,9 +232,10 @@ def measure(strategy: "Synthesizer", dim: int, k: int) -> Resources:
     of the wire/ancilla bookkeeping used on the extrapolated path.
     """
     key = (strategy.name, dim, k)
-    cached = _MEASURED.get(key)
+    cached = _MEASURED.lookup(key)
     if cached is not None:
         return cached
+    _MATERIALISATIONS[0] += 1
     result = strategy.synthesize(dim, k)
     report = count_gates(result, lower=True)
     resources = Resources.from_report(report, strategy=strategy.name, k=k)
@@ -178,7 +246,7 @@ def measure(strategy: "Synthesizer", dim: int, k: int) -> Resources:
             f"ancillas={dict(ancillas)} but the synthesised circuit has "
             f"wires={resources.num_wires}, ancillas={dict(resources.ancillas)}"
         )
-    _MEASURED[key] = resources
+    _MEASURED.store(key, resources)
     return resources
 
 
@@ -208,12 +276,181 @@ def affine_estimate(strategy: "Synthesizer", dim: int, k: int) -> Resources:
     )
 
 
+# ----------------------------------------------------------------------
+# Vectorized batch estimation
+# ----------------------------------------------------------------------
+#: Metric values above this saturate in batch results (int64 ceiling); the
+#: matching :attr:`BatchEstimate.offscale` row is flagged.
+INT64_MAX = int(np.iinfo(np.int64).max)
+
+
+@dataclass
+class BatchEstimate:
+    """Exact resource counts of one strategy over a whole ``k`` array.
+
+    The columnar sibling of :class:`Resources`: every field is a numpy array
+    aligned with ``ks``, produced by one calibration plus O(1) array
+    arithmetic per point (:func:`affine_estimate_batch`).  Metric values
+    that do not fit an ``int64`` (the Θ(2^k) baseline beyond k ≈ 62) are
+    stored saturated at :data:`INT64_MAX` with ``offscale`` set — they rank
+    correctly against any representable competitor but are not exact counts.
+    """
+
+    strategy: str
+    dim: int
+    ks: np.ndarray
+    #: ``{metric: int64 array}`` over :data:`METRIC_FIELDS`.
+    metrics: Dict[str, np.ndarray]
+    num_wires: np.ndarray
+    #: ``{ancilla kind: int64 array}``; kinds with no usage anywhere may be absent.
+    ancillas: Dict[str, np.ndarray]
+    #: True where a metric saturated at the int64 ceiling.
+    offscale: np.ndarray
+    #: Per-point exactness (mirrors :attr:`Resources.exact`).
+    exact: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.ks.shape[0])
+
+    def row(self, index: int) -> Resources:
+        """The scalar :class:`Resources` view of one batch row."""
+        if self.offscale[index]:
+            raise EstimationError(
+                f"batch row k={int(self.ks[index])} of {self.strategy!r} is "
+                f"offscale (saturated at int64); use the scalar estimator"
+            )
+        fields = {name: int(self.metrics[name][index]) for name in METRIC_FIELDS}
+        ancillas = {
+            kind: int(column[index])
+            for kind, column in self.ancillas.items()
+            if column[index]
+        }
+        return Resources(
+            strategy=self.strategy,
+            dim=self.dim,
+            k=int(self.ks[index]),
+            num_wires=int(self.num_wires[index]),
+            ancillas=ancillas,
+            exact=bool(self.exact[index]),
+            **fields,
+        )
+
+
+def _empty_batch(strategy: "Synthesizer", dim: int, ks: np.ndarray) -> BatchEstimate:
+    n = int(ks.shape[0])
+    return BatchEstimate(
+        strategy=strategy.name,
+        dim=dim,
+        ks=ks,
+        metrics={name: np.zeros(n, dtype=np.int64) for name in METRIC_FIELDS},
+        num_wires=np.zeros(n, dtype=np.int64),
+        ancillas={},
+        offscale=np.zeros(n, dtype=bool),
+        exact=np.ones(n, dtype=bool),
+    )
+
+
+def _check_batch_ks(strategy: "Synthesizer", dim: int, ks) -> np.ndarray:
+    ks = np.asarray(ks, dtype=np.int64)
+    if ks.ndim != 1:
+        raise EstimationError(f"batch estimation needs a 1-D k array, got shape {ks.shape}")
+    if ks.size:
+        low, high = int(ks.min()), int(ks.max())
+        if not (strategy.supports(dim, low) and strategy.supports(dim, high)):
+            raise EstimationError(
+                f"strategy {strategy.name!r} does not support every point of "
+                f"the batch at d={dim} (k range {low}..{high}); filter with "
+                f"supports_batch first"
+            )
+    return ks
+
+
+def affine_estimate_batch(strategy: "Synthesizer", dim: int, ks) -> BatchEstimate:
+    """Exact counts for a whole ``k`` array via one calibration per residue.
+
+    The vectorized sibling of :func:`affine_estimate`: points below the
+    stabilisation threshold are measured once per distinct ``k`` (small
+    circuits, memoized), every other point is numpy array arithmetic on the
+    calibrated ``(base, slope)`` vectors — O(1) per point, no Python-level
+    per-point work.  Residue classes whose extrapolated values could
+    overflow ``int64`` fall back to exact Python integers and saturate
+    (see :attr:`BatchEstimate.offscale`).
+    """
+    spec = strategy.estimator_spec(dim)
+    if spec is None:
+        raise EstimationError(f"strategy {strategy.name!r} has no analytic estimator")
+    ks = _check_batch_ks(strategy, dim, ks)
+    batch = _empty_batch(strategy, dim, ks)
+    if not ks.size:
+        return batch
+    metrics, offscale = batch.metrics, batch.offscale
+
+    small = ks < spec.stable_from
+    for k in np.unique(ks[small]).tolist():
+        resources = measure(strategy, dim, int(k))
+        rows = ks == k
+        for name, value in zip(METRIC_FIELDS, resources.metrics()):
+            metrics[name][rows] = value
+
+    residues = ks % spec.period
+    for residue in range(spec.period):
+        rows = ~small & (residues == residue)
+        if not rows.any():
+            continue
+        k0, base, slope = _calibration(strategy, dim, spec, residue)
+        steps = (ks[rows] - k0) // spec.period
+        max_steps = int(steps.max())
+        for i, name in enumerate(METRIC_FIELDS):
+            if base[i] + slope[i] * max_steps <= INT64_MAX:  # Python ints: exact
+                metrics[name][rows] = base[i] + slope[i] * steps
+            else:
+                values = [base[i] + slope[i] * int(s) for s in steps.tolist()]
+                metrics[name][rows] = np.fromiter(
+                    (min(v, INT64_MAX) for v in values), np.int64, len(values)
+                )
+                offscale[rows] |= np.fromiter(
+                    (v > INT64_MAX for v in values), bool, len(values)
+                )
+
+    wires, ancillas = strategy.layout_batch(dim, ks)
+    batch.num_wires = np.asarray(wires, dtype=np.int64)
+    batch.ancillas = {k: np.asarray(v, dtype=np.int64) for k, v in ancillas.items()}
+    return batch
+
+
+def batch_from_scalar(strategy: "Synthesizer", dim: int, ks) -> BatchEstimate:
+    """Batch shim over per-point scalar estimates (payload-dependent models).
+
+    Strategies without an affine cost family (``increment``, ``reversible``,
+    ``unitary``, the Θ(2^k) baseline's default path) still expose the batch
+    API through this loop; it saturates non-``int64`` values the same way
+    the vectorized path does, so downstream consumers see one contract.
+    """
+    ks = _check_batch_ks(strategy, dim, ks)
+    batch = _empty_batch(strategy, dim, ks)
+    for index, k in enumerate(ks.tolist()):
+        resources = strategy.estimate(dim, int(k))
+        batch.exact[index] = resources.exact
+        batch.num_wires[index] = resources.num_wires
+        for name, value in zip(METRIC_FIELDS, resources.metrics()):
+            if value > INT64_MAX:
+                batch.offscale[index] = True
+                value = INT64_MAX
+            batch.metrics[name][index] = value
+        for kind, count in resources.ancillas.items():
+            column = batch.ancillas.get(kind)
+            if column is None:
+                column = batch.ancillas[kind] = np.zeros(len(ks), dtype=np.int64)
+            column[index] = count
+    return batch
+
+
 def _calibration(
     strategy: "Synthesizer", dim: int, spec: AffineSpec, residue: int
 ) -> Tuple[int, Tuple[int, ...], Tuple[int, ...]]:
     """Measure three points of one residue class and verify affineness."""
     key = (strategy.name, dim, residue)
-    cached = _CALIBRATION.get(key)
+    cached = _CALIBRATION.lookup(key)
     if cached is not None:
         return cached
     k0 = spec.stable_from + ((residue - spec.stable_from) % spec.period)
@@ -231,8 +468,9 @@ def _calibration(
             f"k={k0} (period {spec.period}): finite differences disagree for "
             f"{deviating}; raise the strategy's stable_from threshold"
         )
-    _CALIBRATION[key] = (k0, points[0], first)
-    return _CALIBRATION[key]
+    calibration = (k0, points[0], first)
+    _CALIBRATION.store(key, calibration)
+    return calibration
 
 
 def sum_estimates(strategy: "Synthesizer", dim: int, count: int) -> Tuple[int, ...]:

@@ -24,6 +24,7 @@ from repro.synth.strategy import (
 )
 from repro.synth.registry import (
     AutoChoice,
+    active_tuning_db,
     all_strategies,
     auto_select,
     available,
@@ -32,6 +33,7 @@ from repro.synth.registry import (
     names,
     register,
     synthesize,
+    use_tuning_db,
 )
 
 # Importing the concrete strategies populates the registry.
@@ -43,6 +45,7 @@ __all__ = [
     "BOTH_PARITIES",
     "Capabilities",
     "Synthesizer",
+    "active_tuning_db",
     "all_strategies",
     "auto_select",
     "available",
@@ -51,4 +54,5 @@ __all__ = [
     "names",
     "register",
     "synthesize",
+    "use_tuning_db",
 ]

@@ -13,13 +13,17 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import SynthesisError
 from repro.qudit.ancilla import AncillaKind, SynthesisResult
 from repro.qudit.circuit import QuditCircuit
 from repro.qudit.gates import Gate, XPerm
 from repro.resources.estimator import (
+    INT64_MAX,
     METRIC_FIELDS,
     AffineSpec,
+    BatchEstimate,
     Resources,
     measure,
     sum_estimates,
@@ -123,6 +127,13 @@ class MctStrategy(Synthesizer):
             return k + 2, {"borrowed": 1}
         return k + 1, {}
 
+    def layout_batch(self, dim: int, ks: np.ndarray) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        ks = np.asarray(ks, dtype=np.int64)
+        if dim % 2:
+            return ks + 1, {}
+        borrowed = (ks >= 2).astype(np.int64)
+        return ks + 1 + borrowed, {"borrowed": borrowed}
+
     def verify(self, result: SynthesisResult, dim: int, k: int, **kwargs) -> None:
         _verify_mct(result, **kwargs)
 
@@ -146,6 +157,9 @@ class MctOddStrategy(MctStrategy):
 
     def layout(self, dim: int, k: int) -> Tuple[int, Dict[str, int]]:
         return k + 1, {}
+
+    def layout_batch(self, dim: int, ks: np.ndarray) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        return np.asarray(ks, dtype=np.int64) + 1, {}
 
 
 class MctEvenStrategy(MctStrategy):
@@ -198,6 +212,11 @@ class PkStrategy(Synthesizer):
             return k, {}
         return k + 1, {"borrowed": 1}
 
+    def layout_batch(self, dim: int, ks: np.ndarray) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        ks = np.asarray(ks, dtype=np.int64)
+        borrowed = (ks > 2).astype(np.int64)
+        return ks + borrowed, {"borrowed": borrowed}
+
     def verify(self, result: SynthesisResult, dim: int, k: int, **kwargs) -> None:
         from repro.sim.verify import assert_permutation_equals_function
 
@@ -247,6 +266,11 @@ class McuStrategy(Synthesizer):
             return k + 2, {"clean": 1}
         return k + 1, {}
 
+    def layout_batch(self, dim: int, ks: np.ndarray) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        ks = np.asarray(ks, dtype=np.int64)
+        clean = (ks >= 2).astype(np.int64)
+        return ks + 1 + clean, {"clean": clean}
+
     def verify(self, result: SynthesisResult, dim: int, k: int, **kwargs) -> None:
         # Canonical payload is X01, so the spec is exactly the k-Toffoli's
         # (on the clean-ancilla subspace).
@@ -282,6 +306,12 @@ class CleanLadderStrategy(Synthesizer):
         ancillas = clean_ancilla_count(dim, k)
         histogram = {"clean": ancillas} if ancillas else {}
         return k + 1 + ancillas, histogram
+
+    def layout_batch(self, dim: int, ks: np.ndarray) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        ks = np.asarray(ks, dtype=np.int64)
+        # ⌈(k − 2)/(d − 2)⌉ clean ancillas for k > 2, none below.
+        clean = np.where(ks > 2, -(-(ks - 2) // max(1, dim - 2)), 0)
+        return ks + 1 + clean, {"clean": clean}
 
     def verify(self, result: SynthesisResult, dim: int, k: int, **kwargs) -> None:
         _verify_mct(result, **kwargs)
@@ -340,12 +370,46 @@ class McuExponentialStrategy(Synthesizer):
     @staticmethod
     def _closed_form(k: int) -> Tuple[int, ...]:
         # ops(k) = 2·ops(k−1) + 2, ops(0) = ops(1) = 1  ⇒  3·2^{k−1} − 2.
+        # Arbitrary-precision Python ints on purpose: a numpy-integer k
+        # (e.g. iterating a SweepSpec grid) would silently wrap past k = 62.
+        k = int(k)
         ops = 1 if k == 0 else 3 * (1 << (k - 1)) - 2
         two_qudit = 0 if k == 0 else ops
         single = 1 if k == 0 else 0
         # Every op touches the target wire, so depth equals the op count;
         # dense payloads are not G-gates, so the G metrics are zero.
         return (ops, two_qudit, 0, ops, single, 0)
+
+    def layout_batch(self, dim: int, ks: np.ndarray) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        return np.asarray(ks, dtype=np.int64) + 1, {}
+
+    def estimate_batch(self, dim: int, ks) -> BatchEstimate:
+        """Closed-form Θ(2^k) batch: saturates at int64 beyond k ≈ 62.
+
+        The default affine path cannot represent an exponential family, and
+        the scalar fallback would overflow numpy; instead the recurrence's
+        closed form is evaluated with Python integers and clipped, flagging
+        saturated rows ``offscale`` so rankings still order them last.
+        """
+        self.estimate(dim, 0)  # triggers the one-time closed-form validation
+        from repro.resources.estimator import _check_batch_ks, _empty_batch
+
+        ks = _check_batch_ks(self, dim, ks)
+        batch = _empty_batch(self, dim, ks)
+        batch.num_wires = ks + 1
+        if not ks.size:
+            return batch
+        # ops fits int64 up to k = 62: 3·2^61 − 2 < 2^63 − 1 < 3·2^62 − 2.
+        safe = ks <= 62
+        batch.offscale = ~safe
+        clipped = np.where(safe, ks, 62)
+        ops = np.where(clipped == 0, 1, 3 * (1 << np.maximum(clipped - 1, 0)) - 2)
+        ops = np.where(safe, ops, INT64_MAX)
+        batch.metrics["macro_ops"] = ops.copy()
+        batch.metrics["depth"] = ops.copy()
+        batch.metrics["two_qudit_gates"] = np.where(ks == 0, 0, ops)
+        batch.metrics["single_qudit_gates"] = (ks == 0).astype(np.int64)
+        return batch
 
     def verify(self, result: SynthesisResult, dim: int, k: int, **kwargs) -> None:
         import numpy as np

@@ -25,9 +25,18 @@ import abc
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 
+import numpy as np
+
 from repro.exceptions import DimensionError, SynthesisError
 from repro.qudit.ancilla import SynthesisResult
-from repro.resources.estimator import AffineSpec, Resources, affine_estimate
+from repro.resources.estimator import (
+    AffineSpec,
+    BatchEstimate,
+    Resources,
+    affine_estimate,
+    affine_estimate_batch,
+    batch_from_scalar,
+)
 
 #: The two parity classes the paper distinguishes.
 ODD = "odd"
@@ -142,6 +151,44 @@ class Synthesizer(abc.ABC):
         """
         self._require(dim, k)
         return affine_estimate(self, dim, k)
+
+    def supports_batch(self, dim: int, ks: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`supports`: boolean mask over a ``k`` array."""
+        ks = np.asarray(ks, dtype=np.int64)
+        if not self.capabilities.supports_dim(dim):
+            return np.zeros(ks.shape, dtype=bool)
+        return ks >= self.capabilities.min_k
+
+    def estimate_batch(self, dim: int, ks) -> BatchEstimate:
+        """Exact resource counts over a whole ``k`` array.
+
+        Affine strategies answer via one calibration per residue class plus
+        numpy array arithmetic (:func:`~repro.resources.estimator.
+        affine_estimate_batch`); everything else falls back to a loop over
+        :meth:`estimate` with the same columnar result contract.
+        """
+        if self.estimator_spec(dim) is not None:
+            return affine_estimate_batch(self, dim, ks)
+        return batch_from_scalar(self, dim, ks)
+
+    def layout_batch(self, dim: int, ks: np.ndarray) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Vectorized :meth:`layout`: ``(wires array, {kind: count array})``.
+
+        The default loops over :meth:`layout`; strategies with closed-form
+        layouts override this with pure array arithmetic.
+        """
+        ks = np.asarray(ks, dtype=np.int64)
+        wires = np.zeros(ks.shape, dtype=np.int64)
+        ancillas: Dict[str, np.ndarray] = {}
+        for index, k in enumerate(ks.tolist()):
+            w, hist = self.layout(dim, int(k))
+            wires[index] = w
+            for kind, count in hist.items():
+                column = ancillas.get(kind)
+                if column is None:
+                    column = ancillas[kind] = np.zeros(ks.shape, dtype=np.int64)
+                column[index] = count
+        return wires, ancillas
 
     def verify(self, result: SynthesisResult, dim: int, k: int, **kwargs) -> None:
         """Semantic check of a synthesis produced by this strategy.

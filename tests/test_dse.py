@@ -1,0 +1,412 @@
+"""Design-space exploration: batch estimation, Pareto kernel, tuning DB, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.dse import (
+    SweepSpec,
+    TuningDB,
+    frontier_report,
+    pareto_mask,
+    plan_sweep,
+    run_sweep,
+    scenario_frontiers,
+)
+from repro.dse.sweep import STATUS_ERROR, STATUS_OFFSCALE, STATUS_OK
+from repro.exceptions import DSEError, EstimationError
+from repro.resources import cache_stats, clear_caches
+from repro.resources.estimator import (
+    CALIBRATION_CACHE_ENTRIES,
+    MEASURED_CACHE_ENTRIES,
+    METRIC_FIELDS,
+)
+from repro.synth import AncillaBudget, registry
+
+
+# ----------------------------------------------------------------------
+# Vectorized batch estimation == scalar estimation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ["mct", "pk", "mcu", "mct-clean-ladder"])
+@pytest.mark.parametrize("dim", [3, 5])
+def test_batch_estimate_matches_scalar_rows(name, dim):
+    strategy = registry.get(name)
+    ks = np.arange(0, 40, dtype=np.int64)
+    ks = ks[strategy.supports_batch(dim, ks)]
+    batch = strategy.estimate_batch(dim, ks)
+    assert len(batch) == ks.size
+    for index, k in enumerate(ks.tolist()):
+        assert batch.row(index) == strategy.estimate(dim, int(k))
+
+
+def test_batch_estimate_large_grid_spot_checked():
+    strategy = registry.get("mct")
+    ks = np.arange(1, 50_001, dtype=np.int64)
+    batch = strategy.estimate_batch(3, ks)
+    scalar = [strategy.estimate(3, int(ks[i])) for i in (0, 1, 2, 9999, 49_999)]
+    for resources, index in zip(scalar, (0, 1, 2, 9999, 49_999)):
+        assert batch.row(index) == resources
+    assert not batch.offscale.any()
+
+
+def test_exponential_batch_saturates_past_int64():
+    strategy = registry.get("mcu-exponential")
+    ks = np.array([0, 1, 5, 62, 63, 100], dtype=np.int64)
+    batch = strategy.estimate_batch(3, ks)
+    # Exact up to k = 62 (3·2^61 − 2 still fits int64)...
+    assert batch.row(3) == strategy.estimate(3, 62)
+    assert not batch.offscale[:4].any()
+    # ...saturated and flagged beyond; saturated rows refuse scalar export.
+    assert batch.offscale[4] and batch.offscale[5]
+    with pytest.raises(EstimationError):
+        batch.row(5)
+
+
+def test_exponential_scalar_estimate_survives_numpy_k():
+    # A numpy-int64 k must not silently wrap past k = 62 (3·2^62 > int64).
+    strategy = registry.get("mcu-exponential")
+    exact = strategy.estimate(3, 63)
+    wrapped = strategy.estimate(3, np.int64(63))
+    assert exact.macro_ops == 3 * 2**62 - 2
+    assert wrapped.macro_ops == exact.macro_ops
+
+
+def test_calibration_and_measure_memos_are_bounded():
+    clear_caches()
+    assert cache_stats()["measured_entries"] == 0
+    registry.get("mct").estimate(3, 15)
+    registry.get("mct").estimate(3, 15)
+    stats = cache_stats()
+    assert stats["calibration_hits"] >= 1
+    assert stats["measured_entries"] <= MEASURED_CACHE_ENTRIES
+    assert stats["calibration_entries"] <= CALIBRATION_CACHE_ENTRIES
+
+
+# ----------------------------------------------------------------------
+# Pareto kernel vs. the O(n²) definition
+# ----------------------------------------------------------------------
+def _pareto_brute_force(costs: np.ndarray) -> np.ndarray:
+    n = len(costs)
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            if np.all(costs[j] <= costs[i]) and np.any(costs[j] < costs[i]):
+                mask[i] = False
+                break
+    return mask
+
+
+@pytest.mark.parametrize("m", [1, 2, 3, 4])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_pareto_mask_matches_brute_force_on_random_clouds(m, seed):
+    rng = np.random.default_rng(seed)
+    # Small integer range on purpose: guarantees duplicate rows and ties.
+    costs = rng.integers(0, 8, size=(120, m))
+    assert np.array_equal(pareto_mask(costs), _pareto_brute_force(costs))
+
+
+def test_pareto_mask_degenerate_and_duplicate_cases():
+    # A constant column must not break dominance (nothing is < there).
+    costs = np.array([[1, 5], [1, 3], [1, 4], [1, 3]])
+    assert np.array_equal(pareto_mask(costs), _pareto_brute_force(costs))
+    # Duplicated frontier points all stay on the frontier.
+    assert list(pareto_mask(costs)) == [False, True, False, True]
+    # All-identical cloud: everything is optimal.
+    assert pareto_mask(np.ones((5, 3))).all()
+    # Empty cloud and bad shapes.
+    assert pareto_mask(np.zeros((0, 4))).shape == (0,)
+    with pytest.raises(DSEError):
+        pareto_mask(np.zeros(5))
+    with pytest.raises(DSEError):
+        pareto_mask(np.zeros((5, 0)))
+
+
+def test_pareto_mask_matches_brute_force_with_float_costs():
+    rng = np.random.default_rng(7)
+    costs = rng.normal(size=(80, 3)).round(1)  # rounding manufactures ties
+    assert np.array_equal(pareto_mask(costs), _pareto_brute_force(costs))
+
+
+# ----------------------------------------------------------------------
+# Sweep → store → frontiers
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def swept():
+    spec = SweepSpec(dims=(3, 4), k_stop=24)
+    store = run_sweep(spec)
+    return spec, store, TuningDB.from_sweep(store)
+
+
+def test_sweep_spec_validation_and_round_trip():
+    spec = SweepSpec.from_dict(
+        {
+            "dims": [3, 4],
+            "k_stop": 10,
+            "budgets": [None, {"clean": 0}],
+            "pipelines": ["default"],
+        }
+    )
+    assert SweepSpec.from_dict(spec.to_dict()) == spec
+    with pytest.raises(DSEError):
+        SweepSpec(k_start=5, k_stop=2)
+    with pytest.raises(DSEError):
+        SweepSpec(dims=())
+    with pytest.raises(DSEError):
+        SweepSpec(pipelines=("mystery",))
+    with pytest.raises(DSEError):
+        SweepSpec.from_dict({"bogus_field": 1})
+    with pytest.raises(DSEError):
+        SweepSpec.from_dict({"budgets": [{"weird": 1}]})
+
+
+def test_sweep_covers_grid_and_records_statuses(swept):
+    spec, store, _ = swept
+    counts = store.counts()
+    strategies = spec.resolve_strategies()
+    expected = 0  # each (strategy, d) contributes its supported slice of ks
+    for name in strategies:
+        strategy = registry.get(name)
+        for dim in spec.dims:
+            expected += int(strategy.supports_batch(dim, spec.ks()).sum())
+    assert counts["points"] == expected == len(store)
+    # The even-d clean-ladder k=2 calibration failure lands as an error row,
+    # not a crash (live auto_select skips the same point with a note).
+    assert counts["error"] >= 1
+    assert counts["ok"] + counts["offscale"] + counts["error"] == counts["points"]
+
+
+def test_parallel_sweep_equals_serial(swept):
+    spec, _, db = swept
+    parallel_store = run_sweep(spec, jobs=2)
+    assert TuningDB.from_sweep(parallel_store).digest == db.digest
+
+
+def test_scenario_frontiers_match_pareto_kernel(swept):
+    _, store, _ = swept
+    frontiers = scenario_frontiers(store, 3)
+    cols = store.columns
+    ancilla_total = sum(cols[f"anc_{kind}"] for kind in ("clean", "borrowed", "burnable", "garbage"))
+    for i, k in enumerate(frontiers["ks"].tolist()):
+        rows = (cols["dim"] == 3) & (cols["k"] == k) & (cols["status"] != STATUS_ERROR)
+        names = [store.strategies[int(s)] for s in cols["strategy_id"][rows]]
+        costs = np.stack(
+            [cols["g_gates"][rows], cols["depth"][rows], cols["two_qudit_gates"][rows], ancilla_total[rows]],
+            axis=1,
+        )
+        brute = {name for name, keep in zip(names, _pareto_brute_force(costs)) if keep}
+        kernel = {
+            frontiers["strategies"][s]
+            for s in range(len(frontiers["strategies"]))
+            if frontiers["frontier"][s, i]
+        }
+        assert kernel == brute, f"frontier mismatch at d=3, k={k}"
+
+
+def test_frontier_report_is_json_able_and_consistent(swept):
+    _, store, _ = swept
+    report = frontier_report(store)
+    json.dumps(report, default=str)
+    block = report["dims"]["3"]
+    assert sum(block["win_counts"].values()) == block["ks"]["count"]
+    assert block["crossovers"], "d=3 winner never changes across k?"
+
+
+# ----------------------------------------------------------------------
+# Tuning DB: bit-for-bit parity with live auto_select
+# ----------------------------------------------------------------------
+BUDGETS = (None, AncillaBudget(clean=0), AncillaBudget(total=0), AncillaBudget(borrowed=0))
+
+
+def test_db_backed_select_matches_live_for_every_swept_point(swept):
+    spec, _, db = swept
+    checked = fallbacks = 0
+    for dim in spec.dims:
+        for k in spec.ks().tolist():
+            for budget in BUDGETS:
+                db_choice = db.select(dim, k, budget=budget)
+                live = registry.auto_select(dim, k, budget=budget)
+                if db_choice is None:
+                    fallbacks += 1
+                    continue
+                checked += 1
+                assert db_choice.source == "tuning-db"
+                assert db_choice.strategy.name == live.strategy.name
+                assert db_choice.resources == live.resources
+                assert [c[0] for c in db_choice.considered] == [
+                    c[0] for c in live.considered
+                ]
+    assert checked > 100
+    assert fallbacks == 0
+
+
+def test_db_select_falls_back_off_the_swept_region(swept):
+    _, _, db = swept
+    assert db.select(5, 4) is None  # dimension never swept
+    assert db.select(3, 25) is None  # k past the swept range
+    # auto_select silently answers those live.
+    choice = registry.auto_select(5, 4, tuning_db=db)
+    assert choice.source == "estimator"
+
+
+def test_use_tuning_db_installs_a_session_database(swept):
+    _, _, db = swept
+    previous = registry.use_tuning_db(db)
+    try:
+        assert registry.auto_select(3, 8).source == "tuning-db"
+    finally:
+        registry.use_tuning_db(previous)
+    assert registry.auto_select(3, 8).source == "estimator"
+
+
+def test_db_save_load_round_trip(tmp_path, swept):
+    _, _, db = swept
+    path = tmp_path / "tuning.npz"
+    digest = db.save(path)
+    loaded = TuningDB.load(path)
+    assert loaded.digest == digest == db.digest
+    assert loaded.strategies == db.strategies
+    assert loaded.select(3, 8).resources == db.select(3, 8).resources
+    description = loaded.describe()
+    assert description["points"] == len(db)
+    assert description["error"] >= 1
+
+
+def test_db_load_rejects_a_different_code_version(tmp_path, swept):
+    _, _, db = swept
+    path = tmp_path / "tuning.npz"
+    db.save(path)
+    with pytest.raises(DSEError, match="code version"):
+        TuningDB.load(path, salt="repro-exec-999")
+    # And a DB swept under an older version is refused by current code.
+    stale = TuningDB(db.columns, db.strategies, db.pipelines, salt="repro-exec-0")
+    stale.save(path)
+    with pytest.raises(DSEError, match="code version"):
+        TuningDB.load(path)
+
+
+def test_db_load_rejects_tampered_columns(tmp_path, swept):
+    _, _, db = swept
+    path = tmp_path / "tuning.npz"
+    db.save(path)
+    with np.load(path) as data:
+        arrays = {name: np.array(data[name]) for name in data.files}
+    arrays["two_qudit_gates"] = arrays["two_qudit_gates"] + 1  # silent "improvement"
+    np.savez(path, **arrays)
+    with pytest.raises(DSEError, match="digest mismatch"):
+        TuningDB.load(path)
+
+
+def test_db_refuses_duplicate_points(swept):
+    _, store, _ = swept
+    doubled_cols = {
+        name: np.concatenate([column, column]) for name, column in store.columns.items()
+    }
+    doubled = type(store)(
+        strategies=list(store.strategies),
+        pipelines=list(store.pipelines),
+        columns=doubled_cols,
+    )
+    with pytest.raises(DSEError, match="sorted"):
+        TuningDB.from_sweep(doubled)
+
+
+def test_db_select_memo_serves_repeat_queries(swept):
+    _, _, db = swept
+    first = db.select(3, 9)
+    assert db.select(3, 9) is first  # memo returns the identical object
+
+
+# ----------------------------------------------------------------------
+# Materialized pipeline variants
+# ----------------------------------------------------------------------
+def test_materialized_pipeline_variant_rows():
+    spec = SweepSpec(
+        strategies=("mct",), dims=(3,), k_stop=4, pipelines=("default", "expand-only")
+    )
+    chunks = plan_sweep(spec)
+    assert {c.mode for c in chunks} == {"analytic", "materialized"}
+    store = run_sweep(spec)
+    cols = store.columns
+    expand = cols["pipeline_id"] == store.pipelines.index("expand-only")
+    default = cols["pipeline_id"] == store.pipelines.index("default")
+    assert expand.sum() == default.sum() == 5
+    # The expand-only variant skips cancellation/fusion, so it can only cost
+    # more G-gates than the default lowering, never fewer.
+    order = np.argsort(cols["k"])
+    exp_rows = {int(cols["k"][i]): int(cols["g_gates"][i]) for i in order if expand[i]}
+    def_rows = {int(cols["k"][i]): int(cols["g_gates"][i]) for i in order if default[i]}
+    assert all(exp_rows[k] >= def_rows[k] for k in exp_rows)
+    assert any(exp_rows[k] > def_rows[k] for k in exp_rows)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_dse_sweep_report_and_db(tmp_path, capsys):
+    spec_path = tmp_path / "sweep.json"
+    spec_path.write_text(
+        json.dumps({"dims": [3], "k_stop": 10, "strategies": ["mct", "mcu-exponential"]}),
+        encoding="utf-8",
+    )
+    db_path = tmp_path / "tuning.npz"
+    report_path = tmp_path / "frontier.json"
+    assert (
+        main(
+            [
+                "dse",
+                "--sweep",
+                str(spec_path),
+                "--db",
+                str(db_path),
+                "--report",
+                str(report_path),
+                "--json",
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["db"]["points"] == 22
+    report = json.loads(report_path.read_text(encoding="utf-8"))
+    assert "3" in report["dims"]
+    # Inspection mode: --db without --sweep describes the saved archive.
+    assert main(["dse", "--db", str(db_path), "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["points"] == 22
+
+
+def test_cli_estimate_and_synthesize_with_tuning_db(tmp_path, capsys):
+    db_path = tmp_path / "tuning.npz"
+    TuningDB.from_sweep(run_sweep(SweepSpec(dims=(3,), k_stop=10))).save(db_path)
+    previous = registry.use_tuning_db(None)
+    try:
+        assert main(["estimate", "3", "8", "--tuning-db", str(db_path), "--json"]) == 0
+        captured = capsys.readouterr()
+        assert "tuning-db" in captured.err
+        rows = json.loads(captured.out)
+        assert any(row.get("auto") == "<<<" for row in rows)
+        assert main(["synthesize", "auto", "3", "4", "--tuning-db", str(db_path)]) == 0
+        assert "source: tuning-db" in capsys.readouterr().out
+    finally:
+        registry.use_tuning_db(previous)
+
+
+def test_cli_dse_rejects_a_bad_spec(tmp_path, capsys):
+    spec_path = tmp_path / "sweep.json"
+    spec_path.write_text(json.dumps({"mystery": 1}), encoding="utf-8")
+    assert main(["dse", "--sweep", str(spec_path)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_estimate_rejects_a_stale_tuning_db(tmp_path, capsys):
+    db = TuningDB.from_sweep(run_sweep(SweepSpec(dims=(3,), k_stop=4)))
+    stale = TuningDB(db.columns, db.strategies, db.pipelines, salt="repro-exec-0")
+    db_path = tmp_path / "stale.npz"
+    stale.save(db_path)
+    assert main(["estimate", "3", "4", "--tuning-db", str(db_path)]) == 1
+    assert "code version" in capsys.readouterr().err

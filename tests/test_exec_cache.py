@@ -203,9 +203,10 @@ def test_corrupt_disk_entry_is_a_miss_and_gets_dropped(tmp_path):
     key = lowered_key("mct", 3, 2)
     cache.put(key, lower_to_g_gates(synthesize_mct(3, 2).circuit).to_table())
     cache.clear_memo()
-    (tmp_path / f"{key}.npz").write_bytes(b"\x00corrupted")
+    npz_path = cache._paths(key)[0]
+    npz_path.write_bytes(b"\x00corrupted")
     assert cache.get(key) is None
-    assert not (tmp_path / f"{key}.npz").exists()
+    assert not npz_path.exists()
 
 
 def test_missing_meta_sidecar_is_a_miss_never_empty_roles(tmp_path):
@@ -215,9 +216,9 @@ def test_missing_meta_sidecar_is_a_miss_never_empty_roles(tmp_path):
     key = lowered_key("mct", 3, 2)
     cache.put(key, synthesize_mct(3, 2).circuit.to_table(), meta={"controls": [0, 1]})
     cache.clear_memo()
-    (tmp_path / f"{key}.json").unlink()
+    cache._paths(key)[1].unlink()
     assert cache.get(key) is None
-    assert not (tmp_path / f"{key}.npz").exists()
+    assert not cache._paths(key)[0].exists()
 
 
 def test_orphan_meta_sidecar_is_cleaned_on_get(tmp_path):
@@ -245,16 +246,79 @@ def test_disk_lru_eviction_bounded_and_touch_on_get(tmp_path):
         cache.put(key, small)
         # mtime resolution can swallow sub-ms ordering; space the clock out.
         past = time_module.time() - (len(keys) - i) * 10
-        os.utime(tmp_path / "lru" / f"{key}.npz", (past, past))
+        os.utime(cache._paths(key)[0], (past, past))
         cache.get(keys[0])  # refresh the first entry's mtime on every round
         now = time_module.time()
-        os.utime(tmp_path / "lru" / f"{keys[0]}.npz", (now, now))
+        os.utime(cache._paths(keys[0])[0], (now, now))
         cache._evict_over_budget()
-    on_disk = {path.stem for path in (tmp_path / "lru").glob("*.npz")}
+    on_disk = {path.stem for path in (tmp_path / "lru").glob("**/*.npz")}
     assert keys[0] in on_disk  # the hot entry survived
     assert len(on_disk) <= 4
     assert cache.stats.evictions >= 2
     assert cache.disk_bytes() <= int(entry_bytes * 3.5)
+
+
+def test_disk_store_is_sharded_by_key_prefix(tmp_path):
+    cache = CompileCache(tmp_path)
+    key = lowered_key("mct", 3, 2)
+    cache.put(key, synthesize_mct(3, 2).circuit.to_table(), meta={"d": 3})
+    shard = tmp_path / key[:2]
+    assert (shard / f"{key}.npz").exists()
+    assert (shard / f"{key}.json").exists()
+    assert not (tmp_path / f"{key}.npz").exists()
+    cache.clear_memo()
+    assert cache.get(key).source == "disk"
+    assert key in cache.keys()
+
+
+def test_flat_legacy_entries_still_hit_and_evict(tmp_path):
+    # A store written before sharding keeps its flat <key>.npz entries;
+    # reads fall back to them transparently and eviction can remove them.
+    writer = CompileCache(tmp_path)
+    key = lowered_key("mct", 3, 3)
+    table = lower_to_g_gates(synthesize_mct(3, 3).circuit).to_table()
+    writer.put(key, table, meta={"k": 3})
+    # Demote the entry to the legacy flat layout by hand.
+    sharded_npz, sharded_meta = writer._paths(key)
+    import shutil
+
+    shutil.move(sharded_npz, tmp_path / f"{key}.npz")
+    shutil.move(sharded_meta, tmp_path / f"{key}.json")
+
+    reader = CompileCache(tmp_path)
+    assert key in reader
+    assert key in reader.keys()
+    entry = reader.get(key)
+    assert entry is not None and entry.source == "disk"
+    assert entry.meta == {"k": 3}
+    assert reader.disk_bytes() > 0
+    reader._remove(key)
+    assert not (tmp_path / f"{key}.npz").exists()
+    assert reader.get(key) is None
+
+
+def test_eviction_spans_both_store_layouts(tmp_path):
+    small = lower_to_g_gates(synthesize_mct(3, 2).circuit).to_table()
+    probe = CompileCache(tmp_path / "probe")
+    probe.put("aa", small)
+    entry_bytes = probe.disk_bytes()
+    cache = CompileCache(tmp_path / "mix", max_disk_bytes=int(entry_bytes * 2.5))
+    import os
+    import time as time_module
+
+    # One legacy flat entry (oldest), then sharded entries over budget.
+    flat_key = "0f" * 8
+    cache.put(flat_key, small)
+    flat_npz, flat_meta = cache._paths(flat_key)
+    os.replace(flat_npz, tmp_path / "mix" / f"{flat_key}.npz")
+    os.replace(flat_meta, tmp_path / "mix" / f"{flat_key}.json")
+    past = time_module.time() - 1000
+    os.utime(tmp_path / "mix" / f"{flat_key}.npz", (past, past))
+    for i in range(3):
+        cache.put(f"{i:02x}" * 8, small)
+    cache._evict_over_budget()
+    assert not (tmp_path / "mix" / f"{flat_key}.npz").exists()  # LRU casualty
+    assert cache.disk_bytes() <= int(entry_bytes * 2.5)
 
 
 def test_memo_only_cache_without_directory():
@@ -400,7 +464,7 @@ def test_truncated_archive_is_a_miss_under_mmap(tmp_path):
     cache = CompileCache(tmp_path)  # mmap_mode="r" default
     cache.put(key, table, {"k": 1})
     cache.clear_memo()
-    npz_path = tmp_path / f"{key}.npz"
+    npz_path = cache._paths(key)[0]
     payload = npz_path.read_bytes()
     # Truncate mid-member: the zip directory (at the tail) is gone and some
     # member payloads are cut short — every failure mode must be a miss.
