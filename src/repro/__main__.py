@@ -76,21 +76,31 @@ def _cmd_list(args) -> int:
                 "payload": caps.payload,
             }
         )
-    from repro.sim import backend_availability
+    from repro.sim import SparseBackend, backend_availability, get_backend
 
     availability = backend_availability()
+    sparse_info = None
+    if availability.get("sparse") == "available":
+        engine = get_backend("sparse")
+        if isinstance(engine, SparseBackend):
+            sparse_info = {
+                "max_occupancy": engine.max_occupancy,
+                "densify_to": engine.densify_to,
+            }
     if args.json:
-        print(
-            json.dumps(
-                {"strategies": rows, "backends": availability},
-                indent=2,
-                ensure_ascii=False,
-            )
-        )
+        payload = {"strategies": rows, "backends": availability}
+        if sparse_info is not None:
+            payload["sparse"] = sparse_info
+        print(json.dumps(payload, indent=2, ensure_ascii=False))
     else:
         print(render_table(rows, title="Registered synthesis strategies"))
         print("\nSimulation backends:")
         for name, status in availability.items():
+            if name == "sparse" and sparse_info is not None:
+                status = (
+                    f"{status} (densifies to {sparse_info['densify_to']!r} past "
+                    f"occupancy {sparse_info['max_occupancy']:g})"
+                )
             print(f"  {name:<10} {status}")
         print("\nuse: python -m repro estimate <d> <k> [--strategy NAME]")
     return 0

@@ -29,6 +29,7 @@ from repro.fuzz.generators import (
     random_circuit,
     random_circuit_scenario,
     random_gate,
+    random_low_occupancy_case,
     random_pipeline,
     random_predicate,
     random_synthesis_instance,
@@ -40,6 +41,7 @@ from repro.fuzz.oracles import (
     Divergence,
     FuzzReport,
     check_backends,
+    check_backends_sparse,
     check_cache_serialization,
     check_estimator,
     check_inverse_identity,
@@ -59,6 +61,7 @@ __all__ = [
     "FuzzReport",
     "SynthesisInstance",
     "check_backends",
+    "check_backends_sparse",
     "check_cache_serialization",
     "check_estimator",
     "check_inverse_identity",
@@ -74,6 +77,7 @@ __all__ = [
     "random_circuit",
     "random_circuit_scenario",
     "random_gate",
+    "random_low_occupancy_case",
     "random_pipeline",
     "random_predicate",
     "random_synthesis_instance",

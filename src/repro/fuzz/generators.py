@@ -59,6 +59,20 @@ DEFAULT_PREDICATE_WEIGHTS: Dict[str, float] = {
     "inset": 1.0,
 }
 
+#: Permutation-heavy op mix for the low-occupancy instance profile: the mix
+#: of circuits the sparse engine's fast path sees in practice (lowered
+#: permutation circuits with the rare dense payload).  Unitary rows stay
+#: nonzero so expansion + merge-by-key is still exercised, but rarely
+#: enough that a few-basis-state input stays far below the densify
+#: threshold most of the time.
+LOW_OCCUPANCY_OP_WEIGHTS: Dict[str, float] = {
+    "transposition": 4.0,
+    "perm": 3.0,
+    "xplus": 3.0,
+    "unitary": 0.5,
+    "star": 1.5,
+}
+
 
 def _as_rng(seed: RngLike) -> random.Random:
     if isinstance(seed, random.Random):
@@ -222,6 +236,31 @@ def random_circuit_scenario(rng: random.Random) -> Dict[str, object]:
     }
 
 
+def random_low_occupancy_case(
+    rng: random.Random,
+) -> Tuple["QuditCircuit", List[Tuple[int, ...]]]:
+    """A permutation-heavy circuit plus a handful of basis-state inputs.
+
+    The low-occupancy instance profile for the ``backends`` oracle: the
+    returned inputs span at most four basis states, so a superposition built
+    from them keeps the sparse engine on its O(nnz) fast path (index
+    gathers and bounded unitary expansion) instead of its densify fallback,
+    which dense random states would always trigger.
+    """
+    scenario = random_circuit_scenario(rng)
+    circuit = random_circuit(
+        rng,
+        op_weights=LOW_OCCUPANCY_OP_WEIGHTS,
+        name=f"fuzz-sparse-{rng.randrange(2**32)}",
+        **scenario,
+    )
+    count = rng.randrange(1, 5)
+    states = sample_basis_states(
+        circuit.dim, circuit.num_wires, count, rng.randrange(2**32)
+    )
+    return circuit, states
+
+
 # ----------------------------------------------------------------------
 # Synthesis instances
 # ----------------------------------------------------------------------
@@ -319,11 +358,13 @@ __all__ = [
     "DEFAULT_OP_WEIGHTS",
     "DEFAULT_PREDICATE_WEIGHTS",
     "FAMILY_LIMITS",
+    "LOW_OCCUPANCY_OP_WEIGHTS",
     "PEEPHOLE_PASSES",
     "SynthesisInstance",
     "enrich_for_passes",
     "random_basis_state",
     "random_circuit",
+    "random_low_occupancy_case",
     "random_circuit_scenario",
     "random_gate",
     "random_pipeline",

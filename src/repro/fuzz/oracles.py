@@ -16,9 +16,12 @@ Oracles
     agrees with the object implementation.
 ``backends``
     every registered simulation engine (``available_backends()`` — dense,
-    tensor, streaming, numba where installed, anything registered by the
-    caller), per-op vs. ``apply_table``, and (for permutation circuits) the
-    whole-basis gather table vs. the scalar ``apply_to_basis`` path.
+    tensor, sparse, streaming, numba where installed, anything registered by
+    the caller), per-op vs. ``apply_table``, and (for permutation circuits)
+    the whole-basis gather table vs. the scalar ``apply_to_basis`` path.
+    A second, low-occupancy instance (permutation-heavy circuit, a
+    superposition of a few basis states) targets the sparse engine's O(nnz)
+    fast path, which dense random states would never reach.
 ``inverse``
     metamorphic check: ``circuit ∘ circuit.inverse()`` is the identity.
 ``passes``
@@ -64,6 +67,7 @@ from repro.fuzz.generators import (
     enrich_for_passes,
     random_circuit,
     random_circuit_scenario,
+    random_low_occupancy_case,
     random_pipeline,
     random_synthesis_instance,
     sample_basis_states,
@@ -82,10 +86,24 @@ ORACLE_NAMES: Tuple[str, ...] = (
 )
 
 #: Largest basis a synthesis-instance semantic check will enumerate.
+#: Beyond it the check switches to batched sampled index propagation
+#: (exact per state, O(rows · samples), any register size) — never skips.
 _SPEC_BASIS_LIMIT = 30_000
+
+#: Samples for the batched index-propagation verify beyond the basis limit.
+_SPEC_SAMPLES = 128
 
 #: Tighter cap for dense-unitary verifies, which build a basis² matrix.
 _SPEC_UNITARY_LIMIT = 1_024
+
+#: Up to this basis, strategies advertising ``supports_sampled_columns``
+#: are verified by evolving a few pinned+sampled basis columns as one batch
+#: instead of skipping — one (basis, columns) array, no basis² matrix.
+_SPEC_SAMPLED_UNITARY_LIMIT = 65_536
+
+#: Columns drawn for the sampled-column unitary verify (the strategy pins
+#: its fired block on top of these).
+_SPEC_COLUMN_SAMPLES = 4
 
 
 # ----------------------------------------------------------------------
@@ -290,6 +308,74 @@ def check_backends(circuit: QuditCircuit, state_seed: int) -> Optional[str]:
     return None
 
 
+def check_backends_sparse(
+    circuit: QuditCircuit, states: Sequence[Tuple[int, ...]]
+) -> Optional[str]:
+    """The sparse engine's O(nnz) *fast path* agrees with the dense engine.
+
+    :func:`check_backends` feeds every engine dense random states (occupancy
+    1.0), which only ever exercises the sparse engine's densify fallback.
+    This check builds a superposition over a handful of basis states —
+    the low-occupancy instance profile — so the index-gather and
+    bounded-expansion path actually runs, and additionally pushes the same
+    input through the :class:`~repro.sim.sparse.SparseState`-native entry
+    point, asserting its sorted-unique index invariant on the way out.
+    Permutation circuits must match **bit-for-bit** (indices propagate by
+    exact integer arithmetic; amplitudes are only carried).
+    """
+    if "sparse" not in available_backends():  # pragma: no cover - always registered
+        return None
+    from repro.sim.sparse import SparseState
+
+    dim, num_wires = circuit.dim, circuit.num_wires
+    size = dim**num_wires
+    # Normalise sampled states to the circuit (the shrinker may have dropped
+    # wires or reduced the dimension since they were drawn).
+    rows = [
+        [(state[w] if w < len(state) else 0) % dim for w in range(num_wires)]
+        for state in states
+    ] or [[0] * num_wires]
+    digits = np.asarray(rows, dtype=np.int64)
+    strides = np.array([dim**e for e in range(num_wires - 1, -1, -1)], dtype=np.int64)
+    indices = np.unique(digits @ strides)
+    amplitudes = np.arange(1, indices.size + 1, dtype=complex)
+    amplitudes /= np.linalg.norm(amplitudes)
+    data = np.zeros(size, dtype=complex)
+    data[indices] = amplitudes
+
+    table = circuit.to_table()
+    reference = get_backend("dense").apply_table(data.copy(), table)
+    engine = get_backend("sparse")
+    evolved = np.asarray(engine.apply_table(data.copy(), table))
+    if circuit.is_permutation:
+        if not np.array_equal(evolved, reference):
+            first = int(np.nonzero(evolved != reference)[0][0])
+            return (
+                f"sparse apply_table differs from dense on a permutation circuit "
+                f"at flat index {first}: {evolved[first]} vs {reference[first]} "
+                "(must be bit-for-bit)"
+            )
+    elif not np.allclose(evolved, reference, atol=1e-9):
+        deviation = float(np.max(np.abs(evolved - reference)))
+        return f"sparse apply_table deviates from dense by {deviation:.3e}"
+
+    state = SparseState(num_wires, dim, indices, amplitudes)
+    out = engine.apply_table_sparse(state, table)
+    if out.nnz:
+        if out.indices.min() < 0 or out.indices.max() >= size:
+            return "sparse-native result holds an out-of-range basis index"
+        if out.nnz > 1 and not bool((np.diff(out.indices) > 0).all()):
+            return "sparse-native result broke the sorted-unique index invariant"
+    dense_of_sparse = out.to_dense()
+    if circuit.is_permutation:
+        if not np.array_equal(dense_of_sparse, reference):
+            return "SparseState-native path differs from dense on a permutation circuit"
+    elif not np.allclose(dense_of_sparse, reference, atol=1e-9):
+        deviation = float(np.max(np.abs(dense_of_sparse - reference)))
+        return f"SparseState-native path deviates from dense by {deviation:.3e}"
+    return None
+
+
 def check_inverse_identity(circuit: QuditCircuit, state_seed: int) -> Optional[str]:
     """Metamorphic: applying the circuit then its inverse is the identity."""
     composed = _plain_copy(circuit).compose(circuit.inverse())
@@ -417,7 +503,17 @@ def check_estimator(instance: SynthesisInstance) -> Optional[str]:
 
 
 def check_synthesis_semantics(instance: SynthesisInstance) -> Optional[str]:
-    """Refinement check: the synthesised circuit meets its own specification."""
+    """Refinement check: the synthesised circuit meets its own specification.
+
+    Tiered like a refinement checker: enumerate while the basis is small,
+    escalate to the cheap representation when it is not.  Permutation
+    circuits beyond ``_SPEC_BASIS_LIMIT`` are verified by batched sampled
+    index propagation (exact per state, works at any register size — these
+    instances used to be skipped).  Dense-unitary strategies advertising
+    ``supports_sampled_columns`` are verified column-wise up to
+    ``_SPEC_SAMPLED_UNITARY_LIMIT``; only unitary bases beyond that are
+    still skipped.
+    """
     from repro.synth import registry
 
     strategy = registry.get(instance.strategy)
@@ -426,11 +522,19 @@ def check_synthesis_semantics(instance: SynthesisInstance) -> Optional[str]:
     except SynthesisError as error:
         return f"{instance.describe()}: supported instance failed to synthesise: {error}"
     basis = instance.dim**result.circuit.num_wires
-    limit = _SPEC_BASIS_LIMIT if result.circuit.is_permutation else _SPEC_UNITARY_LIMIT
-    if basis > limit:
-        return None  # too large to enumerate (or to build a unitary) per case
+    kwargs = {}
+    if result.circuit.is_permutation:
+        if basis > _SPEC_BASIS_LIMIT:
+            kwargs = {"max_states": _SPEC_BASIS_LIMIT, "samples": _SPEC_SAMPLES}
+    else:
+        if basis > _SPEC_UNITARY_LIMIT:
+            if basis > _SPEC_SAMPLED_UNITARY_LIMIT or not getattr(
+                strategy, "supports_sampled_columns", False
+            ):
+                return None  # a basis² matrix (or statevector batch) is unbuildable
+            kwargs = {"sampled_columns": _SPEC_COLUMN_SAMPLES}
     try:
-        strategy.verify(result, instance.dim, instance.k)
+        strategy.verify(result, instance.dim, instance.k, **kwargs)
     except NotImplementedError:
         return None
     except VerificationError as error:
@@ -548,6 +652,12 @@ def fuzz_case(case_seed: int, enabled: Sequence[str], report: FuzzReport) -> Lis
         recheck=check_cache_serialization)
     run("backends", general, lambda: check_backends(general, state_seed),
         recheck=lambda c: check_backends(c, state_seed))
+
+    # -- low-occupancy profile: the sparse engine's fast path ---------------
+    sparse_circuit, sparse_states = random_low_occupancy_case(rng)
+    run("backends", sparse_circuit,
+        lambda: check_backends_sparse(sparse_circuit, sparse_states),
+        recheck=lambda c: check_backends_sparse(c, sparse_states))
     run("inverse", general, lambda: check_inverse_identity(general, state_seed),
         recheck=lambda c: check_inverse_identity(c, state_seed))
 

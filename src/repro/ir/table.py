@@ -43,6 +43,11 @@ OP_PERM = 0
 OP_UNITARY = 1
 OP_STAR = 2
 
+#: Index batches larger than this propagate through ``apply_to_indices`` in
+#: slices, bounding the transient arrays each row's stride arithmetic
+#: allocates to a few chunk-sized int64 buffers regardless of batch size.
+DEFAULT_INDEX_CHUNK = 1 << 18
+
 #: Column names in storage order (one numpy array each).
 COLUMNS = ("opcode", "target", "wire_a", "wire_b", "pred_a", "pred_b", "payload", "extra")
 
@@ -505,18 +510,26 @@ class GateTable:
             self._cache["perm_index_table"] = cached
         return cached
 
-    def apply_to_indices(self, indices) -> np.ndarray:
+    def apply_to_indices(self, indices, *, out=None, chunk_size: int = DEFAULT_INDEX_CHUNK) -> np.ndarray:
         """Images of a *batch* of flat basis indices under the whole table.
 
-        The batched twin of :meth:`permutation_index_table`: instead of
-        composing the row gathers over the full ``d^n`` basis, only the
-        ``B`` requested indices are propagated (one length-``B`` gather per
-        row, reusing the per-distinct-row tables) — the classical
-        simulation path of the batch executor.
+        The batched twin of :meth:`permutation_index_table`, and the core of
+        the classical simulation path: each row is applied as direct stride
+        arithmetic on the ``B`` requested indices
+        (:meth:`repro.qudit.operations.BaseOp.map_indices`) — O(rows · B)
+        time, O(min(B, chunk_size)) transient memory, and never a ``d^n``
+        table, so it works on registers far beyond any statevector
+        (``d^n >= 10^9``).  ``out=`` reuses a caller-provided ``int64``
+        buffer of the same shape; batches larger than ``chunk_size`` are
+        propagated in slices to bound the transient arrays.
         """
         if not self.is_permutation:
+            row = int(np.nonzero(self.opcode == OP_UNITARY)[0][0])
+            label = self.pools.unitaries.gate(int(self.payload[row])).label
             raise GateError(
-                "circuit contains non-permutation gates; use the statevector simulator"
+                f"table {self.name!r} row {row} applies the dense unitary gate "
+                f"{label!r}; basis indices only propagate through permutation "
+                "rows — use the statevector simulator for this circuit"
             )
         acc = np.asarray(indices, dtype=np.int64)
         size = self.dim**self.num_wires
@@ -524,11 +537,28 @@ class GateTable:
             raise WireError(
                 f"basis index out of range for {self.num_wires} wires of dimension {self.dim}"
             )
+        if out is None:
+            out = np.empty(acc.shape, dtype=np.int64)
+        else:
+            out = np.asarray(out)
+            if out.shape != acc.shape or out.dtype != np.int64:
+                raise GateError(
+                    f"out buffer must be int64 with shape {acc.shape}, "
+                    f"got {out.dtype} with shape {out.shape}"
+                )
+            if not out.flags.c_contiguous:
+                raise GateError("out buffer must be C-contiguous")
+        chunk = max(1, int(chunk_size))
         ops, inverse = self.unique_ops()
-        gathers = [op.permutation_table(self.dim, self.num_wires) for op in ops]
-        for u in inverse.tolist():
-            acc = gathers[u][acc]
-        return acc
+        row_ops = [ops[u] for u in inverse.tolist()]
+        flat_in = acc.reshape(-1)
+        flat_out = out.reshape(-1)
+        for lo in range(0, flat_in.size, chunk):
+            seg = flat_in[lo : lo + chunk]
+            for op in row_ops:
+                seg = op.map_indices(seg, self.dim, self.num_wires)
+            flat_out[lo : lo + chunk] = seg
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

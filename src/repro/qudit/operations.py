@@ -14,14 +14,20 @@ Two operation kinds exist:
   controlled gates.
 
 Both kinds know how to apply themselves to a classical basis state (what the
-scalar permutation simulator needs) and additionally expose two vectorized
+scalar permutation simulator needs) and additionally expose three vectorized
 hooks consumed by the simulation backends in :mod:`repro.sim.backend`:
 
 * :meth:`BaseOp.permutation_table` — the operation's action on the whole
   ``d^n`` basis as a flat numpy gather table, cached per ``(dim, num_wires)``;
 * :meth:`BaseOp.control_mask` — the control predicate evaluated over the whole
   basis as a boolean array broadcastable against the state reshaped to
-  ``(d,) * n``.
+  ``(d,) * n``;
+* :meth:`BaseOp.map_indices` / :meth:`BaseOp.controls_fire_flat` — the same
+  action and predicate evaluated on an *arbitrary batch* of flat basis
+  indices with O(batch) stride arithmetic, never materialising a ``d^n``
+  table.  The sparse simulator and the classical index path
+  (:meth:`repro.ir.table.GateTable.apply_to_indices`) build on this hook;
+  it is the only one that works on registers too large for a statevector.
 """
 
 from __future__ import annotations
@@ -50,6 +56,34 @@ def _shared_table_cache_put(key, table) -> None:
     while len(_SHARED_TABLE_CACHE) >= _SHARED_TABLE_CACHE_MAX:
         _SHARED_TABLE_CACHE.pop(next(iter(_SHARED_TABLE_CACHE)))
     _SHARED_TABLE_CACHE[key] = table
+
+
+#: ``(predicate, dim) -> bool[dim]`` firing vectors for vectorized control
+#: evaluation on decoded digits.  Predicates are immutable and hashable, and
+#: only a handful of (predicate, dim) forms ever exist, so a small bounded
+#: FIFO is plenty.
+_FIRES_VECTOR_CACHE: dict = {}
+_FIRES_VECTOR_CACHE_MAX = 1024
+
+
+def predicate_fires_vector(predicate: ControlPredicate, dim: int) -> np.ndarray:
+    """``bool[dim]`` vector with True at every digit that fires ``predicate``.
+
+    Indexing it with a decoded-digit array evaluates the predicate over an
+    arbitrary batch of basis states in one vectorized step.  Returned
+    read-only and cached per ``(predicate, dim)``.
+    """
+    key = (predicate, dim)
+    fires = _FIRES_VECTOR_CACHE.get(key)
+    if fires is None:
+        fires = np.zeros(dim, dtype=bool)
+        for value in predicate.values(dim):
+            fires[value] = True
+        fires.setflags(write=False)
+        while len(_FIRES_VECTOR_CACHE) >= _FIRES_VECTOR_CACHE_MAX:
+            _FIRES_VECTOR_CACHE.pop(next(iter(_FIRES_VECTOR_CACHE)))
+        _FIRES_VECTOR_CACHE[key] = fires
+    return fires
 
 
 def _normalize_controls(controls: Sequence[Control]) -> Tuple[Control, ...]:
@@ -152,6 +186,35 @@ class BaseOp:
             cache[key] = table
         return table
 
+    def controls_fire_flat(self, indices: np.ndarray, dim: int, num_wires: int) -> np.ndarray:
+        """Vectorized :meth:`controls_fire` over a batch of flat basis indices.
+
+        Decodes only the control digits of each index (stride arithmetic,
+        O(len(indices)) per control) — never the full basis — so it works on
+        registers of any size.
+        """
+        mask = np.ones(np.shape(indices), dtype=bool)
+        for wire, predicate in self.controls:
+            if not 0 <= wire < num_wires:
+                raise WireError(f"control wire {wire} out of range for {num_wires} wires")
+            stride = dim ** (num_wires - 1 - wire)
+            fires = predicate_fires_vector(predicate, dim)
+            mask &= fires[(indices // stride) % dim]
+        return mask
+
+    def map_indices(self, indices: np.ndarray, dim: int, num_wires: int) -> np.ndarray:
+        """Images of a batch of flat basis indices under this operation.
+
+        The O(batch)-time, O(batch)-memory counterpart of
+        :meth:`permutation_table`: the same stride arithmetic is applied
+        directly to the requested ``int64`` indices instead of to
+        ``arange(d^n)``, so no ``d^n`` array is ever built and the method
+        works on basis sizes far beyond any statevector (``d^n >= 10^9``).
+        Only defined for permutation operations; indices are not range
+        checked (callers validate the batch once).
+        """
+        raise NotImplementedError
+
     def _table_key(self, dim: int, num_wires: int) -> tuple:
         raise NotImplementedError
 
@@ -204,6 +267,20 @@ class Operation(BaseOp):
         delta = (perm[digits] - digits) * stride
         mask = self.control_mask(dim, num_wires, flat=True)
         return indices + np.where(mask, delta, 0)
+
+    def map_indices(self, indices: np.ndarray, dim: int, num_wires: int) -> np.ndarray:
+        if not self.is_permutation:
+            raise GateError(f"{self!r} is not a permutation operation")
+        if not 0 <= self.target < num_wires:
+            raise WireError(f"wire {self.target} out of range for {num_wires} wires")
+        indices = np.asarray(indices, dtype=np.int64)
+        stride = dim ** (num_wires - 1 - self.target)
+        digits = (indices // stride) % dim
+        perm = np.asarray(self.gate.permutation(), dtype=np.int64)
+        delta = (perm[digits] - digits) * stride
+        if self.controls:
+            delta = np.where(self.controls_fire_flat(indices, dim, num_wires), delta, 0)
+        return indices + delta
 
     def is_g_gate(self, dim: int) -> bool:
         """Return True if the operation belongs to the paper's gate set G.
@@ -282,6 +359,21 @@ class StarShiftOp(BaseOp):
         delta = (shifted - target) * stride_target
         mask = self.control_mask(dim, num_wires, flat=True)
         return indices + np.where(mask, delta, 0)
+
+    def map_indices(self, indices: np.ndarray, dim: int, num_wires: int) -> np.ndarray:
+        for wire in (self.star_wire, self.target):
+            if not 0 <= wire < num_wires:
+                raise WireError(f"wire {wire} out of range for {num_wires} wires")
+        indices = np.asarray(indices, dtype=np.int64)
+        stride_target = dim ** (num_wires - 1 - self.target)
+        stride_star = dim ** (num_wires - 1 - self.star_wire)
+        target = (indices // stride_target) % dim
+        star = (indices // stride_star) % dim
+        shifted = (target + self.sign * star) % dim
+        delta = (shifted - target) * stride_target
+        if self.controls:
+            delta = np.where(self.controls_fire_flat(indices, dim, num_wires), delta, 0)
+        return indices + delta
 
     def is_g_gate(self, dim: int) -> bool:
         return False

@@ -1,8 +1,9 @@
 """Simulators and verification helpers for qudit circuits.
 
 The simulation engines live in :mod:`repro.sim.backend` and are selected by
-name (``"dense"``, ``"tensor"``, ``"streaming"``, and ``"numba"`` when numba
-is installed) wherever a ``backend=`` parameter appears —
+name (``"dense"``, ``"tensor"``, ``"sparse"``, ``"streaming"``, and
+``"numba"`` when numba is installed) wherever a ``backend=`` parameter
+appears —
 :class:`Statevector`, :func:`circuit_unitary` and the ``assert_*`` helpers.
 :func:`backend_availability` reports every known engine with a one-line
 reason when one could not register.
@@ -25,6 +26,11 @@ from repro.sim.streaming import (
     DEFAULT_MEMORY_BUDGET,
     StreamingBackend,
     parse_memory_budget,
+)
+from repro.sim.sparse import (
+    MATERIALIZE_LIMIT,
+    SparseBackend,
+    SparseState,
 )
 from repro.sim import jit as _jit  # registers the numba backend when importable
 from repro.sim.jit import NUMBA_AVAILABLE, NUMBA_REASON
@@ -58,9 +64,12 @@ from repro.sim.verify import (
 __all__ = [
     "DenseBackend",
     "SimulationBackend",
+    "SparseBackend",
+    "SparseState",
     "StreamingBackend",
     "TensorBackend",
     "DEFAULT_MEMORY_BUDGET",
+    "MATERIALIZE_LIMIT",
     "NUMBA_AVAILABLE",
     "NUMBA_REASON",
     "available_backends",

@@ -42,7 +42,8 @@ def test_single_case_replay_matches_report_contract():
     report = FuzzReport(seed=17)
     divergences = fuzz_case(17, ("round-trip", "backends", "inverse"), report)
     assert divergences == []
-    assert report.oracle_runs == {"round-trip": 1, "backends": 1, "inverse": 1}
+    # backends counts twice: dense random state + sparse low-occupancy case.
+    assert report.oracle_runs == {"round-trip": 1, "backends": 2, "inverse": 1}
 
 
 def test_backends_oracle_covers_every_registered_engine():
@@ -58,9 +59,25 @@ def test_backends_oracle_covers_every_registered_engine():
     try:
         report = fuzz_run(seed=0, max_cases=8, oracles=["backends"])
         assert report.ok, json.dumps(report.to_json(), indent=2, ensure_ascii=False)
-        assert report.oracle_runs == {"backends": 8}
+        assert report.oracle_runs == {"backends": 16}  # 2 runs per case since PR-8
     finally:
         unregister_backend("tiny-streaming")
+
+
+def test_sparse_seeded_block_stays_clean():
+    """Seeds 200-209, backends oracle, which now runs TWICE per case.
+
+    Each case fuzzes every registered engine on a dense random state (the
+    pre-PR-8 check) and then the sparse engine's O(nnz) fast path on a
+    dedicated low-occupancy instance (superposition over a few sampled
+    basis states) — permutation circuits compared bit-for-bit against
+    dense, plus the SparseState-native entry point with its sorted-unique
+    index invariant.  The doubled ``oracle_runs`` count pins that both
+    halves actually executed.
+    """
+    report = fuzz_run(seed=200, max_cases=10, oracles=["backends"])
+    assert report.ok, json.dumps(report.to_json(), indent=2, ensure_ascii=False)
+    assert report.oracle_runs == {"backends": 20}
 
 
 def test_streaming_seeded_block_stays_clean():
