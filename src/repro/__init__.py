@@ -108,7 +108,8 @@ from repro.passes import (
     PassPipeline,
     default_lowering_pipeline,
 )
-from repro import sim as verify
+from repro import sim
+from repro import verify
 from repro import synth
 from repro import fuzz
 from repro import exec as batch_exec
@@ -146,6 +147,7 @@ __all__ = [
     "XPerm",
     "XPlus",
     "draw",
+    "sim",
     "verify",
     "synth",
     "fuzz",

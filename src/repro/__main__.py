@@ -57,6 +57,35 @@ def _budget_from_args(args) -> Optional[AncillaBudget]:
     )
 
 
+def _verify_budget_from_args(args):
+    """Build a verification budget from ``--verify-tier`` / ``--verify-budget``.
+
+    ``--verify-tier`` names a preset (``smoke``/``standard``/``audit``);
+    ``--verify-budget`` is a JSON object of field overrides applied on top
+    (on ``standard`` when no tier is named).  Returns ``None`` when neither
+    flag is set, which keeps each caller's historical full-strength check.
+    """
+    from repro.verify import VerificationBudget
+
+    tier = getattr(args, "verify_tier", None)
+    overrides_text = getattr(args, "verify_budget", None)
+    if tier is None and overrides_text is None:
+        return None
+    budget = VerificationBudget.preset(tier or "standard")
+    if overrides_text:
+        try:
+            overrides = json.loads(overrides_text)
+        except json.JSONDecodeError as error:
+            raise SynthesisError(f"--verify-budget is not valid JSON: {error}") from None
+        if not isinstance(overrides, dict):
+            raise SynthesisError(
+                "--verify-budget must be a JSON object of budget fields, "
+                'e.g. \'{"samples": 64, "allow_dense": false}\''
+            )
+        budget = budget.replace(**overrides)
+    return budget
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
@@ -188,12 +217,26 @@ def _cmd_synthesize(args) -> int:
     report = count_gates(result, lower=args.lower)
     print(render_table([report.as_row()], title="gate counts"))
     if args.verify:
+        verify_budget = _verify_budget_from_args(args)
         try:
-            strategy.verify(result, args.d, args.k)
+            outcome = strategy.verify(result, args.d, args.k, budget=verify_budget)
         except NotImplementedError:
             print("verify: no canonical specification for this strategy", file=sys.stderr)
             return 2
-        print("verify: OK (matches the semantic specification)")
+        if getattr(outcome, "undecided", False):
+            print(
+                "verify: UNDECIDED — the budget ruled out every deciding tier "
+                "(raise --verify-tier or --verify-budget)",
+                file=sys.stderr,
+            )
+            return 2
+        if getattr(outcome, "decided_by", None):
+            print(
+                "verify: OK (matches the semantic specification; decided by the "
+                f"{outcome.decided_by} tier, {outcome.states_checked} states checked)"
+            )
+        else:
+            print("verify: OK (matches the semantic specification)")
     return 0
 
 
@@ -413,6 +456,7 @@ def _cmd_fuzz(args) -> int:
         max_cases=args.max_cases,
         oracles=args.oracle or None,
         shrink=args.shrink,
+        verify_budget=_verify_budget_from_args(args),
     )
     payload = report.to_json()
     if args.report:
@@ -432,6 +476,11 @@ def _cmd_fuzz(args) -> int:
             f"{'OK' if report.ok else f'{len(report.divergences)} DIVERGENCES'}"
         )
         print(render_table(rows, title=title))
+        if report.tier_hits:
+            hits = ", ".join(
+                f"{name}={count}" for name, count in sorted(report.tier_hits.items())
+            )
+            print(f"synth-spec verification tiers: {hits}")
         for divergence in report.divergences:
             print(f"\nDIVERGENCE [{divergence.oracle}] case_seed={divergence.case_seed}")
             print(f"  {divergence.message}")
@@ -455,6 +504,24 @@ def _cmd_fuzz(args) -> int:
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
+def _add_verify_budget_flags(parser: argparse.ArgumentParser) -> None:
+    from repro.verify import PRESET_NAMES
+
+    parser.add_argument(
+        "--verify-tier",
+        choices=list(PRESET_NAMES),
+        default=None,
+        help="verification budget preset (smoke: sampled tiers only; "
+        "standard: library defaults; audit: exhaustive-leaning)",
+    )
+    parser.add_argument(
+        "--verify-budget",
+        default=None,
+        help="JSON object of VerificationBudget field overrides applied on "
+        'top of --verify-tier, e.g. \'{"samples": 64, "allow_dense": false}\'',
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -482,6 +549,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_syn.add_argument(
         "--lower", action="store_true", help="count after lowering to G-gates"
     )
+    _add_verify_budget_flags(p_syn)
     p_syn.set_defaults(func=_cmd_synthesize)
 
     from repro.sim import available_backends
@@ -602,6 +670,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fuzz.add_argument("--report", help="also write the JSON report to this path")
     p_fuzz.add_argument("--json", action="store_true", help="emit JSON on stdout")
+    _add_verify_budget_flags(p_fuzz)
     p_fuzz.set_defaults(func=_cmd_fuzz)
 
     for p in (p_est, p_syn, p_sim):

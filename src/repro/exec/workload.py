@@ -64,6 +64,10 @@ class WorkloadRequest:
     #: Byte budget for the ``streaming`` backend (simulate only; accepts
     #: ``"8M"``-style strings in the JSON, normalised to bytes here).
     memory_budget: Optional[int] = None
+    #: Verification level: a budget preset name (``smoke``/``standard``/
+    #: ``audit``) — the synthesised macro is checked against the strategy's
+    #: semantic spec under that budget (synthesize/simulate kinds only).
+    verify: Optional[str] = None
 
     @classmethod
     def from_dict(cls, raw: Dict[str, object], index: int) -> "WorkloadRequest":
@@ -79,9 +83,25 @@ class WorkloadRequest:
             raise WorkloadError(f"request {index}: missing field(s) {missing}")
         unknown = set(raw) - {
             "kind", "strategy", "d", "k", "engine", "backend", "states", "memory_budget",
+            "verify",
         }
         if unknown:
             raise WorkloadError(f"request {index}: unknown field(s) {sorted(unknown)}")
+        verify = raw.get("verify")
+        if verify is not None:
+            from repro.verify import PRESET_NAMES
+
+            verify = str(verify)
+            if kind == "estimate":
+                raise WorkloadError(
+                    f"request {index}: verify does not apply to estimate requests "
+                    "(no circuit is built)"
+                )
+            if verify not in PRESET_NAMES:
+                raise WorkloadError(
+                    f"request {index}: unknown verify level {verify!r}; "
+                    f"expected one of {list(PRESET_NAMES)}"
+                )
         try:
             dim, k = int(raw["d"]), int(raw["k"])
         except (TypeError, ValueError):
@@ -117,6 +137,7 @@ class WorkloadRequest:
             backend=str(raw.get("backend", "dense")),
             states=states,
             memory_budget=memory_budget,
+            verify=verify,
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -134,6 +155,8 @@ class WorkloadRequest:
             out["states"] = [list(row) for row in self.states]
         if self.memory_budget is not None:
             out["memory_budget"] = self.memory_budget
+        if self.verify is not None:
+            out["verify"] = self.verify
         return out
 
     def compile_key(self, salt: str = CODE_VERSION) -> Optional[str]:
@@ -248,12 +271,42 @@ def execute_request(request: WorkloadRequest, cache: Optional[CompileCache]) -> 
             )
             if request.kind == "simulate":
                 row["outputs"] = _simulate(request, circuit)
+            if request.verify is not None:
+                row["verify_result"] = _verify_macro(request, outcome.strategy)
         row["ok"] = True
     except ReproError as error:
         row["ok"] = False
         row["error"] = f"{type(error).__name__}: {error}"
     row["seconds"] = round(time.perf_counter() - start, 6)
     return row
+
+
+def _verify_macro(request: WorkloadRequest, strategy_name: str) -> Dict[str, object]:
+    """Check the request's macro against its strategy's semantic spec.
+
+    The compile cache only holds the *lowered* circuit, so the macro-level
+    :class:`~repro.qudit.ancilla.SynthesisResult` is rebuilt here (cheap
+    relative to the verification itself).  A failed check raises
+    :class:`~repro.exceptions.VerificationError`, which the caller records
+    as the request's error.
+    """
+    from repro.synth import registry
+    from repro.verify import VerificationBudget
+
+    strategy = registry.get(strategy_name)
+    result = strategy.synthesize(request.dim, request.k)
+    try:
+        report = strategy.verify(
+            result, request.dim, request.k,
+            budget=VerificationBudget.preset(request.verify),
+        )
+    except NotImplementedError:
+        return {"status": "unsupported"}
+    return {
+        "status": report.status,
+        "tier": report.decided_by,
+        "states_checked": int(report.states_checked),
+    }
 
 
 def _simulate(request: WorkloadRequest, circuit) -> List[str]:

@@ -61,6 +61,7 @@ from repro.qudit.operations import Operation, StarShiftOp
 from repro.resources.estimator import METRIC_FIELDS
 from repro.sim import available_backends, get_backend
 from repro.sim.permutation import apply_to_basis, permutation_index_table
+from repro.verify import VerificationBudget
 from repro.utils.indexing import indices_to_digits
 from repro.fuzz.generators import (
     SynthesisInstance,
@@ -104,6 +105,18 @@ _SPEC_SAMPLED_UNITARY_LIMIT = 65_536
 #: Columns drawn for the sampled-column unitary verify (the strategy pins
 #: its fired block on top of these).
 _SPEC_COLUMN_SAMPLES = 4
+
+#: Default budget of the ``synth-spec`` oracle: the historical caps above
+#: expressed as one :class:`repro.verify.VerificationBudget`, so the full
+#: fuzz sweep keeps its pre-tiered coverage exactly.  ``--verify-tier``
+#: swaps in a preset (e.g. ``smoke``) instead.
+FUZZ_VERIFY_BUDGET = VerificationBudget(
+    max_basis_states=_SPEC_BASIS_LIMIT,
+    samples=_SPEC_SAMPLES,
+    max_dense_dim=_SPEC_UNITARY_LIMIT,
+    sampled_columns=_SPEC_COLUMN_SAMPLES,
+    max_column_basis=_SPEC_SAMPLED_UNITARY_LIMIT,
+)
 
 
 # ----------------------------------------------------------------------
@@ -502,17 +515,25 @@ def check_estimator(instance: SynthesisInstance) -> Optional[str]:
     return None
 
 
-def check_synthesis_semantics(instance: SynthesisInstance) -> Optional[str]:
+def check_synthesis_semantics(
+    instance: SynthesisInstance,
+    *,
+    budget=None,
+    tier_hits: Optional[Dict[str, int]] = None,
+) -> Optional[str]:
     """Refinement check: the synthesised circuit meets its own specification.
 
-    Tiered like a refinement checker: enumerate while the basis is small,
-    escalate to the cheap representation when it is not.  Permutation
-    circuits beyond ``_SPEC_BASIS_LIMIT`` are verified by batched sampled
-    index propagation (exact per state, works at any register size — these
-    instances used to be skipped).  Dense-unitary strategies advertising
-    ``supports_sampled_columns`` are verified column-wise up to
-    ``_SPEC_SAMPLED_UNITARY_LIMIT``; only unitary bases beyond that are
-    still skipped.
+    Routed through the tiered verifier (:mod:`repro.verify`): the strategy's
+    ``verify`` escalates structural → sampled → exhaustive under ``budget``
+    (default :data:`FUZZ_VERIFY_BUDGET`, which mirrors the oracle's historical
+    caps — exhaustive up to ``_SPEC_BASIS_LIMIT`` basis states, then batched
+    sampled index propagation; dense unitary compares up to
+    ``_SPEC_UNITARY_LIMIT``, then sampled columns up to
+    ``_SPEC_SAMPLED_UNITARY_LIMIT``).  A budget too tight to decide an
+    instance counts as a skip, never a pass.  ``tier_hits`` (when given)
+    accumulates one count per decided instance keyed by the deciding tier
+    name, plus ``"undecided"`` for the skips — the CI fuzz report exposes
+    these counters.
     """
     from repro.synth import registry
 
@@ -521,24 +542,17 @@ def check_synthesis_semantics(instance: SynthesisInstance) -> Optional[str]:
         result = strategy.synthesize(instance.dim, instance.k)
     except SynthesisError as error:
         return f"{instance.describe()}: supported instance failed to synthesise: {error}"
-    basis = instance.dim**result.circuit.num_wires
-    kwargs = {}
-    if result.circuit.is_permutation:
-        if basis > _SPEC_BASIS_LIMIT:
-            kwargs = {"max_states": _SPEC_BASIS_LIMIT, "samples": _SPEC_SAMPLES}
-    else:
-        if basis > _SPEC_UNITARY_LIMIT:
-            if basis > _SPEC_SAMPLED_UNITARY_LIMIT or not getattr(
-                strategy, "supports_sampled_columns", False
-            ):
-                return None  # a basis² matrix (or statevector batch) is unbuildable
-            kwargs = {"sampled_columns": _SPEC_COLUMN_SAMPLES}
+    if budget is None:
+        budget = FUZZ_VERIFY_BUDGET
     try:
-        strategy.verify(result, instance.dim, instance.k, **kwargs)
+        outcome = strategy.verify(result, instance.dim, instance.k, budget=budget)
     except NotImplementedError:
         return None
     except VerificationError as error:
         return f"{instance.describe()}: {error}"
+    if tier_hits is not None:
+        decided = getattr(outcome, "decided_by", None) or "undecided"
+        tier_hits[decided] = tier_hits.get(decided, 0) + 1
     return None
 
 
@@ -590,6 +604,9 @@ class FuzzReport:
     elapsed_seconds: float = 0.0
     oracle_runs: Dict[str, int] = field(default_factory=dict)
     divergences: List[Divergence] = field(default_factory=list)
+    #: Per-tier decision counters from the ``synth-spec`` oracle: how many
+    #: instances each verification tier decided (plus ``"undecided"`` skips).
+    tier_hits: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -601,6 +618,7 @@ class FuzzReport:
             "cases": self.cases,
             "elapsed_seconds": round(self.elapsed_seconds, 3),
             "oracle_runs": dict(self.oracle_runs),
+            "tier_hits": dict(self.tier_hits),
             "ok": self.ok,
             "divergences": [d.to_json() for d in self.divergences],
         }
@@ -618,7 +636,12 @@ def _guard(oracle: str, check: Callable[[], Optional[str]]) -> Optional[str]:
         return f"oracle crashed: {type(error).__name__}: {error}"
 
 
-def fuzz_case(case_seed: int, enabled: Sequence[str], report: FuzzReport) -> List[Divergence]:
+def fuzz_case(
+    case_seed: int,
+    enabled: Sequence[str],
+    report: FuzzReport,
+    verify_budget=None,
+) -> List[Divergence]:
     """Generate one seeded case and run every enabled oracle on it."""
     rng = random.Random(case_seed)
     found: List[Divergence] = []
@@ -678,8 +701,12 @@ def fuzz_case(case_seed: int, enabled: Sequence[str], report: FuzzReport) -> Lis
     instance = random_synthesis_instance(rng)
     run("estimator", None, lambda: check_estimator(instance),
         recheck=check_estimator, instance=instance)
-    run("synth-spec", None, lambda: check_synthesis_semantics(instance),
-        recheck=check_synthesis_semantics, instance=instance)
+    run("synth-spec", None,
+        lambda: check_synthesis_semantics(
+            instance, budget=verify_budget, tier_hits=report.tier_hits
+        ),
+        recheck=lambda inst: check_synthesis_semantics(inst, budget=verify_budget),
+        instance=instance)
 
     return found
 
@@ -715,12 +742,17 @@ def fuzz_run(
     oracles: Optional[Sequence[str]] = None,
     shrink: bool = True,
     stop_on_first: bool = False,
+    verify_budget=None,
 ) -> FuzzReport:
     """Fuzz until the wall-clock budget or the case budget is exhausted.
 
     Case ``i`` of a session with seed ``s`` is fully reproduced by
     ``fuzz_case(s + i, ...)`` — the report records each failing case's seed
     so a CI finding replays locally with ``--seed``.
+
+    ``verify_budget`` (a :class:`repro.verify.VerificationBudget` or preset
+    name) bounds the ``synth-spec`` oracle's verification cost; ``None``
+    keeps the full-strength :data:`FUZZ_VERIFY_BUDGET`.
     """
     enabled = tuple(oracles) if oracles else ORACLE_NAMES
     unknown = [name for name in enabled if name not in ORACLE_NAMES]
@@ -736,7 +768,7 @@ def fuzz_run(
             break
         if time_budget is not None and time.monotonic() - start >= time_budget:
             break
-        found = fuzz_case(seed + index, enabled, report)
+        found = fuzz_case(seed + index, enabled, report, verify_budget=verify_budget)
         if shrink:
             for divergence in found:
                 _shrink_divergence(divergence)
@@ -750,6 +782,7 @@ def fuzz_run(
 
 
 __all__ = [
+    "FUZZ_VERIFY_BUDGET",
     "ORACLE_NAMES",
     "Divergence",
     "FuzzReport",

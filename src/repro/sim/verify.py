@@ -1,4 +1,4 @@
-"""Verification helpers.
+"""Verification helpers (thin wrappers over :mod:`repro.verify`).
 
 Every synthesis routine in the library is checked against a *semantic
 specification* rather than against a reference circuit:
@@ -14,73 +14,49 @@ specification* rather than against a reference circuit:
 * :func:`assert_unitary_equiv` — dense matrix comparison (optionally up to a
   global phase) for the unitary-level constructions;
 * sampled variants of the above for systems too large to enumerate.
+
+Since the tiered-verifier refactor each helper routes through
+:class:`repro.verify.TieredVerifier`: the legacy keyword arguments
+(``max_states`` / ``samples`` / ``seed``) are folded into a
+:class:`repro.verify.VerificationBudget` reproducing the historical
+behavior exactly, and each helper *returns* the
+:class:`repro.verify.VerificationReport` (tier decided, states checked,
+replay recipe) after raising on failure.  Pass ``budget=`` — a budget or a
+preset name (``"smoke"``/``"standard"``/``"audit"``) — to override the cost
+dial instead; an explicit budget takes precedence over the legacy keywords.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import VerificationError
 from repro.qudit.circuit import QuditCircuit
 from repro.sim.backend import BackendLike
-from repro.sim.permutation import (
-    permutation_index_table,
-    states_differing_on,
+from repro.verify import (
+    UNBOUNDED,
+    TieredVerifier,
+    VerificationBudget,
+    VerificationReport,
+    checks,
+    resolve_budget,
 )
-from repro.sim.unitary import circuit_unitary
-from repro.utils.indexing import digit_matrix, indices_to_digits
-
-BasisState = Tuple[int, ...]
-Spec = Callable[[BasisState], Sequence[int]]
+from repro.verify.checks import (
+    BasisState,
+    Spec,
+    mc_shift_spec,
+    mct_spec,
+    sample_basis_states,
+)
 
 #: Systems with at most this many basis states are verified exhaustively.
 EXHAUSTIVE_LIMIT = 200_000
 
+#: Backward-compatible alias for the batched sample-propagation kernel.
+_propagate_samples = checks.propagate_samples
 
-def sample_basis_states(
-    dim: int,
-    num_wires: int,
-    samples: int,
-    seed: int,
-    *,
-    clean_wires: Sequence[int] = (),
-) -> List[BasisState]:
-    """Deterministic sample of basis states, shared by every sampled check.
-
-    One seeded :class:`numpy.random.Generator` drives the sampled fallbacks
-    of the ``assert_*`` helpers, the test-suite samplers in ``conftest`` and
-    the fuzz generators, so a failure reported with its seed reproduces the
-    exact state sequence anywhere.  Wires listed in ``clean_wires`` are
-    pinned to ``0`` (the clean-ancilla contract).
-    """
-    rng = np.random.default_rng(seed)
-    states = rng.integers(0, dim, size=(samples, num_wires))
-    clean = [w for w in clean_wires]
-    if clean:
-        states[:, clean] = 0
-    return [tuple(int(digit) for digit in row) for row in states]
-
-
-def _propagate_samples(
-    circuit: QuditCircuit, states: Sequence[BasisState]
-) -> List[List[int]]:
-    """Images of sampled basis states, all propagated in ONE batched pass.
-
-    Encodes the digit rows to flat indices, pushes them through
-    :meth:`repro.ir.table.GateTable.apply_to_indices` (per-row stride
-    arithmetic on just the batch — no ``d^n`` table), and decodes back.
-    Row order is preserved, so callers can recover the failing sample index.
-    """
-    if not states:
-        return []
-    strides = np.array(
-        [circuit.dim**e for e in range(circuit.num_wires - 1, -1, -1)], dtype=np.int64
-    )
-    indices = np.asarray(states, dtype=np.int64) @ strides
-    images = circuit.to_table().apply_to_indices(indices)
-    return indices_to_digits(images, circuit.dim, circuit.num_wires).tolist()
+BudgetLike = Optional[object]  # VerificationBudget | preset name | None
 
 
 def assert_implements_permutation(
@@ -91,7 +67,8 @@ def assert_implements_permutation(
     samples: int = 2000,
     seed: int = 7,
     clean_wires: Sequence[int] = (),
-) -> None:
+    budget: BudgetLike = None,
+) -> VerificationReport:
     """Check that ``circuit`` maps every basis state exactly as ``spec`` does.
 
     If the basis is larger than ``max_states`` the check falls back to
@@ -101,44 +78,12 @@ def assert_implements_permutation(
     (clean or burnable ancillas); basis states with other values on those
     wires are outside the circuit's contract and are skipped.
     """
-    clean = tuple(clean_wires)
-    total = circuit.dim**circuit.num_wires
-    if total <= max_states:
-        # Exhaustive check: compute the circuit's whole-basis action once with
-        # the vectorized gather tables, then compare state by state against
-        # the (Python-level) specification callback.
-        table = permutation_index_table(circuit)
-        sources = digit_matrix(circuit.dim, circuit.num_wires).tolist()
-        images = indices_to_digits(table, circuit.dim, circuit.num_wires).tolist()
-        for source, image in zip(sources, images):
-            state = tuple(source)
-            if any(state[w] != 0 for w in clean):
-                continue
-            expected = tuple(spec(state))
-            actual = tuple(image)
-            if actual != expected:
-                raise VerificationError(
-                    f"circuit {circuit.name!r} maps {state} to {actual}, expected {expected}"
-                )
-        return
-    states = sample_basis_states(
-        circuit.dim, circuit.num_wires, samples, seed, clean_wires=clean
+    if budget is None:
+        budget = VerificationBudget(max_basis_states=max_states, samples=samples, seed=seed)
+    report = TieredVerifier(resolve_budget(budget)).verify_permutation(
+        circuit, spec, clean_wires=clean_wires
     )
-    # All samples propagate through ONE batched index pass (O(rows · samples)
-    # stride arithmetic, no d^n table and no per-state Python loop), so the
-    # sampled branch works on registers far beyond any statevector; only the
-    # spec callback runs per state.
-    images = _propagate_samples(circuit, states)
-    for row, (state, image) in enumerate(zip(states, images)):
-        expected = tuple(spec(state))
-        actual = tuple(image)
-        if actual != expected:
-            recipe = f"sample_basis_states({circuit.dim}, {circuit.num_wires}, {samples}, {seed}"
-            recipe += f", clean_wires={clean})" if clean else ")"
-            raise VerificationError(
-                f"circuit {circuit.name!r} maps {state} to {actual}, expected {expected} "
-                f"(sampled check, seed={seed}, failing row {row}; rerun with {recipe}[{row}])"
-            )
+    return report.raise_if_failed()
 
 
 def assert_wires_preserved(
@@ -148,96 +93,16 @@ def assert_wires_preserved(
     max_states: int = EXHAUSTIVE_LIMIT,
     samples: int = 2000,
     seed: int = 11,
-) -> None:
+    budget: BudgetLike = None,
+) -> VerificationReport:
     """Check that the circuit restores ``wires`` for every basis input.
 
     This is the borrowed-ancilla / control-preservation invariant.
     """
-    wires = tuple(wires)
-    total = circuit.dim**circuit.num_wires
-    if total <= max_states:
-        # Fully vectorized: states_differing_on compares the watched wires of
-        # every basis state with its image under the composed gather table.
-        offenders = states_differing_on(circuit, wires)
-        if offenders:
-            state, output = offenders[0]
-            mismatch = [w for w in wires if output[w] != state[w]]
-            raise VerificationError(
-                f"circuit {circuit.name!r} modified wires {mismatch} on input {state}: {output}"
-            )
-    else:
-        states = sample_basis_states(circuit.dim, circuit.num_wires, samples, seed)
-        # Batched like assert_implements_permutation: one index pass for all
-        # samples, then a vectorized compare of just the watched wires.
-        images = np.asarray(_propagate_samples(circuit, states))
-        sources = np.asarray(states)
-        watched = list(wires)
-        diff = images[:, watched] != sources[:, watched]
-        bad_rows = np.nonzero(diff.any(axis=1))[0]
-        if bad_rows.size:
-            row = int(bad_rows[0])
-            state = tuple(int(v) for v in sources[row])
-            output = tuple(int(v) for v in images[row])
-            mismatch = [w for w in wires if output[w] != state[w]]
-            raise VerificationError(
-                f"circuit {circuit.name!r} modified wires {mismatch} on input "
-                f"{state}: {output} (sampled check, seed={seed}, failing row "
-                f"{row}; rerun with sample_basis_states({circuit.dim}, "
-                f"{circuit.num_wires}, {samples}, {seed})[{row}])"
-            )
-
-
-def mct_spec(
-    controls: Sequence[int],
-    target: int,
-    dim: int,
-    *,
-    control_values: Optional[Sequence[int]] = None,
-    swap: Tuple[int, int] = (0, 1),
-) -> Spec:
-    """Return the specification of a multi-controlled ``X_{ij}`` gate.
-
-    The returned function maps a basis state to the state with the target
-    digit swapped between ``swap[0]`` and ``swap[1]`` exactly when every
-    control digit matches its control value (default all zeros, the paper's
-    ``|0^k⟩-Xij``); every other wire, and in particular any ancilla wire, is
-    left untouched.
-    """
-    values = tuple(control_values) if control_values is not None else (0,) * len(controls)
-    if len(values) != len(controls):
-        raise VerificationError("control_values length must match the number of controls")
-    i, j = swap
-
-    def spec(state: BasisState) -> BasisState:
-        output = list(state)
-        if all(state[c] == v for c, v in zip(controls, values)):
-            if output[target] == i:
-                output[target] = j
-            elif output[target] == j:
-                output[target] = i
-        return tuple(output)
-
-    return spec
-
-
-def mc_shift_spec(
-    controls: Sequence[int],
-    target: int,
-    dim: int,
-    shift: int = 1,
-    *,
-    control_values: Optional[Sequence[int]] = None,
-) -> Spec:
-    """Specification of the multi-controlled ``X+shift`` gate (``|0^k⟩-X+y``)."""
-    values = tuple(control_values) if control_values is not None else (0,) * len(controls)
-
-    def spec(state: BasisState) -> BasisState:
-        output = list(state)
-        if all(state[c] == v for c, v in zip(controls, values)):
-            output[target] = (output[target] + shift) % dim
-        return tuple(output)
-
-    return spec
+    if budget is None:
+        budget = VerificationBudget(max_basis_states=max_states, samples=samples, seed=seed)
+    report = TieredVerifier(resolve_budget(budget)).verify_wires_preserved(circuit, wires)
+    return report.raise_if_failed()
 
 
 def assert_mct_spec(
@@ -250,15 +115,21 @@ def assert_mct_spec(
     max_states: int = EXHAUSTIVE_LIMIT,
     samples: int = 2000,
     clean_wires: Sequence[int] = (),
-) -> None:
+    budget: BudgetLike = None,
+) -> VerificationReport:
     """Exhaustively check that ``circuit`` is the multi-controlled ``Xij``
     on the given wires and acts as the identity on every other wire.
 
     ``clean_wires`` restricts the check to inputs where those wires are
     ``|0⟩`` (the contract of clean ancillas)."""
     spec = mct_spec(controls, target, circuit.dim, control_values=control_values, swap=swap)
-    assert_implements_permutation(
-        circuit, spec, max_states=max_states, samples=samples, clean_wires=clean_wires
+    return assert_implements_permutation(
+        circuit,
+        spec,
+        max_states=max_states,
+        samples=samples,
+        clean_wires=clean_wires,
+        budget=budget,
     )
 
 
@@ -269,29 +140,23 @@ def assert_unitary_equiv(
     atol: float = 1e-8,
     up_to_global_phase: bool = False,
     backend: BackendLike = None,
-) -> None:
+    budget: BudgetLike = None,
+) -> VerificationReport:
     """Check that the circuit's unitary equals ``expected`` (dense compare).
 
     ``backend`` selects the simulation engine used to build the circuit's
     unitary (``None`` uses the process default).
     """
-    actual = circuit_unitary(circuit, backend=backend)
-    if actual.shape != expected.shape:
-        raise VerificationError(
-            f"unitary shape mismatch: circuit {actual.shape}, expected {expected.shape}"
-        )
-    if up_to_global_phase:
-        # Align phases using the largest-magnitude entry of the expected matrix.
-        index = np.unravel_index(np.argmax(np.abs(expected)), expected.shape)
-        if abs(actual[index]) < atol:
-            raise VerificationError("cannot align global phase: mismatched support")
-        phase = expected[index] / actual[index]
-        actual = actual * phase
-    if not np.allclose(actual, expected, atol=atol):
-        deviation = float(np.max(np.abs(actual - expected)))
-        raise VerificationError(
-            f"circuit {circuit.name!r} deviates from the expected unitary by {deviation:.3e}"
-        )
+    if budget is None:
+        budget = VerificationBudget(max_dense_dim=UNBOUNDED)
+    report = TieredVerifier(resolve_budget(budget)).verify_unitary(
+        circuit,
+        expected=np.asarray(expected),
+        up_to_global_phase=up_to_global_phase,
+        atol=atol,
+        backend=backend,
+    )
+    return report.raise_if_failed()
 
 
 def assert_unitary_columns_equiv(
@@ -304,65 +169,31 @@ def assert_unitary_columns_equiv(
     atol: float = 1e-8,
     up_to_global_phase: bool = False,
     backend: BackendLike = None,
-) -> None:
+    budget: BudgetLike = None,
+) -> VerificationReport:
     """Sampled-column unitary check for bases too large to build a matrix.
 
-    :func:`assert_unitary_equiv` materialises two ``basis²`` matrices, which
-    caps it near basis 1024.  This variant evolves ``samples`` distinct basis
-    columns as ONE ``(d^n, s)`` batch through the simulation engine — about
-    the cost of a few statevector evolutions, no matrix anywhere — and
-    compares each against ``expected_column(flat_index)``, which callers can
-    usually compute in closed form (e.g. a multi-controlled unitary is the
-    identity column everywhere outside the fired block).
-    ``required_columns`` pins columns that must always be checked (the fired
-    block), since a uniform draw over a huge basis would almost never hit
-    them.  With ``up_to_global_phase`` one phase is aligned on the first
-    column and must fit every other column — per-column phases would accept
-    circuits that differ by a non-global diagonal.
+    See :func:`repro.verify.checks.unitary_columns` for the cost model and
+    sampling strategy (columns are drawn one digit per wire, so the check
+    scales past ``int64`` register sizes up to the memory wall of one
+    statevector batch).
     """
-    from repro.sim.backend import get_backend
-
-    size = circuit.dim**circuit.num_wires
-    rng = np.random.default_rng(seed)
-    drawn = rng.integers(0, size, size=max(int(samples), 1))
-    pinned = np.asarray(list(required_columns), dtype=np.int64)
-    columns = np.unique(np.concatenate([pinned, drawn.astype(np.int64)]))
-    if columns.size and (columns.min() < 0 or columns.max() >= size):
-        raise VerificationError(f"required column out of range for basis {size}")
-    data = np.zeros((size, columns.size), dtype=complex)
-    data[columns, np.arange(columns.size)] = 1.0
-    evolved = np.asarray(get_backend(backend).apply_circuit_batch(data, circuit))
-    phase = None
-    for b, col in enumerate(columns.tolist()):
-        expected = np.asarray(expected_column(int(col)), dtype=complex).reshape(-1)
-        if expected.shape != (size,):
-            raise VerificationError(
-                f"expected_column({col}) returned shape {expected.shape}, want ({size},)"
-            )
-        actual = evolved[:, b]
-        if up_to_global_phase:
-            index = int(np.argmax(np.abs(expected)))
-            if abs(actual[index]) < atol:
-                raise VerificationError(
-                    f"cannot align global phase on column {col}: mismatched support"
-                )
-            column_phase = expected[index] / actual[index]
-            if phase is None:
-                phase = column_phase
-            elif abs(column_phase - phase) > 10 * atol:
-                raise VerificationError(
-                    f"circuit {circuit.name!r} phase on column {col} disagrees with "
-                    f"column {int(columns[0])} — not a global phase "
-                    f"(sampled-column check, seed={seed})"
-                )
-            actual = actual * phase
-        if not np.allclose(actual, expected, atol=atol):
-            deviation = float(np.max(np.abs(actual - expected)))
-            raise VerificationError(
-                f"circuit {circuit.name!r} column {col} deviates from the expected "
-                f"unitary column by {deviation:.3e} (sampled-column check, "
-                f"seed={seed}, {columns.size} columns)"
-            )
+    if budget is None:
+        budget = VerificationBudget(
+            sampled_columns=max(int(samples), 1),
+            seed=seed,
+            max_column_basis=UNBOUNDED,
+            allow_dense=False,
+        )
+    report = TieredVerifier(resolve_budget(budget)).verify_unitary(
+        circuit,
+        expected_column=expected_column,
+        required_columns=required_columns,
+        up_to_global_phase=up_to_global_phase,
+        atol=atol,
+        backend=backend,
+    )
+    return report.raise_if_failed()
 
 
 def assert_unitary_equiv_with_clean_ancillas(
@@ -373,7 +204,8 @@ def assert_unitary_equiv_with_clean_ancillas(
     *,
     atol: float = 1e-8,
     backend: BackendLike = None,
-) -> None:
+    budget: BudgetLike = None,
+) -> VerificationReport:
     """Check a circuit that uses clean ancillas against a data-wire unitary.
 
     The circuit is only required to implement ``expected`` on the subspace
@@ -381,63 +213,17 @@ def assert_unitary_equiv_with_clean_ancillas(
     ``|0⟩`` (i.e. not leak amplitude outside that subspace).  ``expected``
     acts on the data wires only.
     """
-    data_wires = tuple(data_wires)
-    clean_wires = tuple(clean_wires)
-    full = circuit_unitary(circuit, backend=backend)
-    dim = circuit.dim
-    size_data = dim ** len(data_wires)
-    if expected.shape != (size_data, size_data):
-        raise VerificationError("expected matrix shape does not match the data wires")
-
-    block = np.zeros((size_data, size_data), dtype=complex)
-    leakage = 0.0
-    for col_data in range(size_data):
-        col_digits = _merge_digits(circuit, data_wires, clean_wires, col_data)
-        col_index = sum(
-            digit * dim ** (circuit.num_wires - 1 - wire) for wire, digit in col_digits.items()
-        )
-        column = full[:, col_index]
-        for row_index, amplitude in enumerate(column):
-            if abs(amplitude) < 1e-14:
-                continue
-            digits = list(_index_digits(row_index, dim, circuit.num_wires))
-            if any(digits[w] != 0 for w in clean_wires):
-                leakage = max(leakage, abs(amplitude))
-                continue
-            row_data = 0
-            for wire in data_wires:
-                row_data = row_data * dim + digits[wire]
-            block[row_data, col_data] += amplitude
-    if leakage > atol:
-        raise VerificationError(
-            f"circuit {circuit.name!r} leaks amplitude {leakage:.3e} into non-zero ancilla states"
-        )
-    if not np.allclose(block, expected, atol=atol):
-        deviation = float(np.max(np.abs(block - expected)))
-        raise VerificationError(
-            f"circuit {circuit.name!r} deviates from the expected unitary by {deviation:.3e} "
-            "on the clean-ancilla subspace"
-        )
-
-
-def _merge_digits(circuit, data_wires, clean_wires, data_index):
-    dim = circuit.dim
-    digits = {wire: 0 for wire in range(circuit.num_wires)}
-    remaining = data_index
-    for wire in reversed(data_wires):
-        digits[wire] = remaining % dim
-        remaining //= dim
-    for wire in clean_wires:
-        digits[wire] = 0
-    return digits
-
-
-def _index_digits(index, dim, num_wires):
-    digits = [0] * num_wires
-    for position in range(num_wires - 1, -1, -1):
-        digits[position] = index % dim
-        index //= dim
-    return digits
+    if budget is None:
+        budget = VerificationBudget(max_dense_dim=UNBOUNDED)
+    report = TieredVerifier(resolve_budget(budget)).verify_unitary_clean_ancillas(
+        circuit,
+        np.asarray(expected),
+        data_wires,
+        clean_wires,
+        atol=atol,
+        backend=backend,
+    )
+    return report.raise_if_failed()
 
 
 def assert_permutation_equals_function(
@@ -448,7 +234,8 @@ def assert_permutation_equals_function(
     max_states: int = EXHAUSTIVE_LIMIT,
     samples: int = 2000,
     clean_wires: Sequence[int] = (),
-) -> None:
+    budget: BudgetLike = None,
+) -> VerificationReport:
     """Check that the circuit implements ``function`` on a subset of wires and
     the identity elsewhere.
 
@@ -456,6 +243,8 @@ def assert_permutation_equals_function(
     Used for reversible-function synthesis (Theorem IV.2), where the function
     acts on the ``n`` data wires and any extra wire is a borrowed ancilla.
     """
+    from repro.exceptions import VerificationError
+
     wires = tuple(wires)
 
     def spec(state: BasisState) -> BasisState:
@@ -467,6 +256,11 @@ def assert_permutation_equals_function(
             output[wire] = digit
         return tuple(output)
 
-    assert_implements_permutation(
-        circuit, spec, max_states=max_states, samples=samples, clean_wires=clean_wires
+    return assert_implements_permutation(
+        circuit,
+        spec,
+        max_states=max_states,
+        samples=samples,
+        clean_wires=clean_wires,
+        budget=budget,
     )

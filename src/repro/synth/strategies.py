@@ -51,14 +51,15 @@ from repro.applications.unitary_synthesis import random_unitary, synthesize_unit
 from repro.utils.indexing import digits_to_index, index_to_digits
 
 
-def _verify_mct(result: SynthesisResult, **kwargs) -> None:
+def _verify_mct(result: SynthesisResult, budget=None, **kwargs):
     from repro.sim.verify import assert_mct_spec
 
-    assert_mct_spec(
+    return assert_mct_spec(
         result.circuit,
         result.controls,
         result.target,
         clean_wires=result.clean_wires(),
+        budget=budget,
         **kwargs,
     )
 
@@ -134,8 +135,8 @@ class MctStrategy(Synthesizer):
         borrowed = (ks >= 2).astype(np.int64)
         return ks + 1 + borrowed, {"borrowed": borrowed}
 
-    def verify(self, result: SynthesisResult, dim: int, k: int, **kwargs) -> None:
-        _verify_mct(result, **kwargs)
+    def verify(self, result: SynthesisResult, dim: int, k: int, budget=None, **kwargs):
+        return _verify_mct(result, budget=budget, **kwargs)
 
 
 class MctOddStrategy(MctStrategy):
@@ -217,13 +218,14 @@ class PkStrategy(Synthesizer):
         borrowed = (ks > 2).astype(np.int64)
         return ks + borrowed, {"borrowed": borrowed}
 
-    def verify(self, result: SynthesisResult, dim: int, k: int, **kwargs) -> None:
+    def verify(self, result: SynthesisResult, dim: int, k: int, budget=None, **kwargs):
         from repro.sim.verify import assert_permutation_equals_function
 
-        assert_permutation_equals_function(
+        return assert_permutation_equals_function(
             result.circuit,
             lambda digits: pk_map(dim, digits),
             wires=list(range(k)),
+            budget=budget,
             **kwargs,
         )
 
@@ -271,10 +273,10 @@ class McuStrategy(Synthesizer):
         clean = (ks >= 2).astype(np.int64)
         return ks + 1 + clean, {"clean": clean}
 
-    def verify(self, result: SynthesisResult, dim: int, k: int, **kwargs) -> None:
+    def verify(self, result: SynthesisResult, dim: int, k: int, budget=None, **kwargs):
         # Canonical payload is X01, so the spec is exactly the k-Toffoli's
         # (on the clean-ancilla subspace).
-        _verify_mct(result, **kwargs)
+        return _verify_mct(result, budget=budget, **kwargs)
 
 
 # ----------------------------------------------------------------------
@@ -313,8 +315,8 @@ class CleanLadderStrategy(Synthesizer):
         clean = np.where(ks > 2, -(-(ks - 2) // max(1, dim - 2)), 0)
         return ks + 1 + clean, {"clean": clean}
 
-    def verify(self, result: SynthesisResult, dim: int, k: int, **kwargs) -> None:
-        _verify_mct(result, **kwargs)
+    def verify(self, result: SynthesisResult, dim: int, k: int, budget=None, **kwargs):
+        return _verify_mct(result, budget=budget, **kwargs)
 
 
 class McuExponentialStrategy(Synthesizer):
@@ -416,7 +418,7 @@ class McuExponentialStrategy(Synthesizer):
     #: verify on bases too large for the dense matrix compare.
     supports_sampled_columns = True
 
-    def verify(self, result: SynthesisResult, dim: int, k: int, **kwargs) -> None:
+    def verify(self, result: SynthesisResult, dim: int, k: int, budget=None, **kwargs):
         import numpy as np
 
         from repro.baselines.ancilla_free_exponential import toffoli_payload_su
@@ -424,34 +426,51 @@ class McuExponentialStrategy(Synthesizer):
         from repro.sim.verify import assert_unitary_columns_equiv, assert_unitary_equiv
 
         payload = np.asarray(toffoli_payload_su(dim))
+        # Column oracle: the expected matrix is the identity except for the
+        # payload block at the all-zero control values (the circuit is
+        # ancilla-free, so the block is columns 0..d-1), so each expected
+        # column is written down directly — no basis² matrix.  The payload
+        # block is always pinned into the sample.
+        size = dim**result.circuit.num_wires
+
+        def expected_column(col: int) -> np.ndarray:
+            vector = np.zeros(size, dtype=complex)
+            if col < dim:
+                vector[:dim] = payload[:, col]
+            else:
+                vector[col] = 1.0
+            return vector
+
         sampled_columns = kwargs.pop("sampled_columns", None)
         if sampled_columns is not None:
-            # Column-sampled check: the expected matrix is the identity except
-            # for the payload block at the all-zero control values (the
-            # circuit is ancilla-free, so the block is columns 0..d-1), so
-            # each expected column is written down directly — no basis²
-            # matrix.  The payload block is always pinned into the sample.
-            size = dim**result.circuit.num_wires
-
-            def expected_column(col: int) -> np.ndarray:
-                vector = np.zeros(size, dtype=complex)
-                if col < dim:
-                    vector[:dim] = payload[:, col]
-                else:
-                    vector[col] = 1.0
-                return vector
-
-            assert_unitary_columns_equiv(
+            return assert_unitary_columns_equiv(
                 result.circuit,
                 expected_column,
                 samples=int(sampled_columns),
                 required_columns=range(dim),
                 up_to_global_phase=True,
+                budget=budget,
                 **kwargs,
             )
-            return
+        if budget is not None:
+            # Budget-driven: hand the verifier the cheap column oracle plus a
+            # lazy factory for the basis² matrix, so the dense compare is only
+            # materialised when the budget actually selects the dense tier.
+            from repro.verify import TieredVerifier, resolve_budget
+
+            report = TieredVerifier(resolve_budget(budget)).verify_unitary(
+                result.circuit,
+                expected_factory=lambda: np.asarray(
+                    multi_controlled_unitary_matrix(dim, k, payload)
+                ),
+                expected_column=expected_column,
+                required_columns=range(dim),
+                up_to_global_phase=True,
+                **kwargs,
+            )
+            return report.raise_if_failed()
         expected = multi_controlled_unitary_matrix(dim, k, payload)
-        assert_unitary_equiv(
+        return assert_unitary_equiv(
             result.circuit, np.asarray(expected), up_to_global_phase=True, **kwargs
         )
 
@@ -511,14 +530,15 @@ class IncrementStrategy(Synthesizer):
             **fields,
         )
 
-    def verify(self, result: SynthesisResult, dim: int, k: int, **kwargs) -> None:
+    def verify(self, result: SynthesisResult, dim: int, k: int, budget=None, **kwargs):
         from repro.sim.verify import assert_permutation_equals_function
 
-        assert_permutation_equals_function(
+        return assert_permutation_equals_function(
             result.circuit,
             lambda digits: increment_reference(dim, k, digits),
             wires=list(range(k)),
             clean_wires=result.clean_wires(),
+            budget=budget,
             **kwargs,
         )
 
@@ -579,7 +599,7 @@ class ReversibleStrategy(Synthesizer):
             **values,
         )
 
-    def verify(self, result: SynthesisResult, dim: int, k: int, **kwargs) -> None:
+    def verify(self, result: SynthesisResult, dim: int, k: int, budget=None, **kwargs):
         from repro.sim.verify import assert_permutation_equals_function
 
         table = random_reversible_function(dim, k, seed=0)
@@ -587,8 +607,8 @@ class ReversibleStrategy(Synthesizer):
         def reference(digits):
             return index_to_digits(table[digits_to_index(digits, dim)], dim, k)
 
-        assert_permutation_equals_function(
-            result.circuit, reference, wires=list(range(k)), **kwargs
+        return assert_permutation_equals_function(
+            result.circuit, reference, wires=list(range(k)), budget=budget, **kwargs
         )
 
 
@@ -648,7 +668,7 @@ class UnitaryStrategy(Synthesizer):
             **values,
         )
 
-    def verify(self, result: SynthesisResult, dim: int, k: int, **kwargs) -> None:
+    def verify(self, result: SynthesisResult, dim: int, k: int, budget=None, **kwargs):
         from repro.sim.verify import (
             assert_unitary_equiv,
             assert_unitary_equiv_with_clean_ancillas,
@@ -657,11 +677,18 @@ class UnitaryStrategy(Synthesizer):
         expected = random_unitary(dim**k, seed=0)
         clean = result.clean_wires()
         if clean:
-            assert_unitary_equiv_with_clean_ancillas(
-                result.circuit, expected, list(range(k)), clean, atol=1e-7, **kwargs
+            return assert_unitary_equiv_with_clean_ancillas(
+                result.circuit,
+                expected,
+                list(range(k)),
+                clean,
+                atol=1e-7,
+                budget=budget,
+                **kwargs,
             )
-        else:
-            assert_unitary_equiv(result.circuit, expected, atol=1e-7, **kwargs)
+        return assert_unitary_equiv(
+            result.circuit, expected, atol=1e-7, budget=budget, **kwargs
+        )
 
 
 def _controlled_transposition_cost(dim: int) -> Tuple[int, int]:

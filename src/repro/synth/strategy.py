@@ -190,12 +190,17 @@ class Synthesizer(abc.ABC):
                 column[index] = count
         return wires, ancillas
 
-    def verify(self, result: SynthesisResult, dim: int, k: int, **kwargs) -> None:
+    def verify(self, result: SynthesisResult, dim: int, k: int, budget=None, **kwargs):
         """Semantic check of a synthesis produced by this strategy.
 
-        Raises :class:`~repro.exceptions.VerificationError` on failure and
-        :class:`NotImplementedError` when the strategy has no canonical
-        specification (payload-dependent strategies).
+        ``budget`` is a :class:`repro.verify.VerificationBudget` (or a preset
+        name like ``"smoke"``) bounding how much the check may spend; ``None``
+        keeps each strategy's historical full-strength check.  Returns the
+        :class:`repro.verify.VerificationReport` of the run — note a report
+        may come back *undecided* under a tight budget, which is a skip, not
+        a pass.  Raises :class:`~repro.exceptions.VerificationError` on
+        failure and :class:`NotImplementedError` when the strategy has no
+        canonical specification (payload-dependent strategies).
         """
         raise NotImplementedError(f"strategy {self.name!r} has no canonical verifier")
 

@@ -1,0 +1,69 @@
+"""Tiered verification: one budgeted verifier behind every entry point.
+
+This package unifies the library's verification paths — the ``assert_*``
+helpers in :mod:`repro.sim.verify`, the per-strategy
+:meth:`~repro.synth.strategy.Synthesizer.verify` implementations, the fuzz
+``synth-spec`` oracle, the CLI and the workload runner — behind one
+:class:`TieredVerifier` that escalates cheap → expensive under a
+:class:`VerificationBudget`:
+
+>>> from repro.verify import TieredVerifier, VerificationBudget
+>>> verifier = TieredVerifier(VerificationBudget.preset("smoke"))
+>>> report = verifier.verify_permutation(circuit, spec)   # doctest: +SKIP
+>>> report.decided_by, report.states_checked              # doctest: +SKIP
+('index-propagation', 128)
+
+For backward compatibility ``repro.verify`` also re-exports everything from
+:mod:`repro.sim` (the module historically aliased to this name), so
+``repro.verify.Statevector`` and ``repro.verify.assert_mct_spec`` keep
+working.  The re-export is lazy to avoid a circular import —
+``repro.sim.verify`` itself routes through this package.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.verify.budget import (
+    PRESET_NAMES,
+    PRESETS,
+    TIER_COLUMNS,
+    TIER_DENSE,
+    TIER_INDEX,
+    TIER_NAMES,
+    TIER_STRUCTURAL,
+    UNBOUNDED,
+    VerificationBudget,
+)
+from repro.verify.report import TierRecord, VerificationReport
+from repro.verify.verifier import TieredVerifier, Verifier, resolve_budget
+from repro.verify import checks
+
+__all__ = [
+    "PRESET_NAMES",
+    "PRESETS",
+    "TIER_COLUMNS",
+    "TIER_DENSE",
+    "TIER_INDEX",
+    "TIER_NAMES",
+    "TIER_STRUCTURAL",
+    "UNBOUNDED",
+    "VerificationBudget",
+    "TierRecord",
+    "VerificationReport",
+    "TieredVerifier",
+    "Verifier",
+    "resolve_budget",
+    "checks",
+]
+
+
+def __getattr__(name: str):
+    """Fall back to :mod:`repro.sim` for the historical ``repro.verify`` API."""
+    sim = importlib.import_module("repro.sim")
+    try:
+        return getattr(sim, name)
+    except AttributeError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None

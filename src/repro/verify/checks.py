@@ -1,0 +1,648 @@
+"""Tier check kernels shared by the tiered verifier and the ``assert_*`` API.
+
+Each function here is one *check kernel*: it runs a single verification
+strategy to completion and raises :class:`~repro.exceptions.VerificationError`
+on divergence, returning how many states it examined (and, for sampled
+kernels, a replay recipe).  The :class:`~repro.verify.verifier.TieredVerifier`
+sequences kernels by cost; the legacy ``assert_*`` helpers in
+:mod:`repro.sim.verify` are thin wrappers over the same kernels, so every
+entry point shares one set of (corrected) semantics.
+
+All imports from :mod:`repro.sim` are deferred to call time: ``repro.sim``
+imports :mod:`repro.verify` while building its public API, so a module-level
+import here would be circular.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import VerificationError
+from repro.utils.indexing import digit_matrix, indices_to_digits
+
+BasisState = Tuple[int, ...]
+Spec = Callable[[BasisState], Sequence[int]]
+
+#: Largest flat basis index representable by the batched int64 index paths.
+INT64_MAX = int(np.iinfo(np.int64).max)
+
+
+def basis_size(dim: int, num_wires: int) -> int:
+    """``d^n`` as an exact Python integer (never overflows)."""
+    return int(dim) ** int(num_wires)
+
+
+def require_int64_basis(dim: int, num_wires: int, context: str) -> int:
+    """Return ``d^n`` or raise when flat indices would overflow ``int64``.
+
+    The batched index paths (:func:`propagate_samples`, the sampled-column
+    kernel) encode basis states as flat ``int64`` indices; past ``2^63 - 1``
+    the stride arithmetic silently wraps, so refuse with a clear error.
+    """
+    size = basis_size(dim, num_wires)
+    if size > INT64_MAX:
+        raise VerificationError(
+            f"{context}: basis of {dim}^{num_wires} states exceeds the int64 "
+            f"flat-index range (2^63 - 1); this register is too large for the "
+            f"batched index paths"
+        )
+    return size
+
+
+def sample_basis_states(
+    dim: int,
+    num_wires: int,
+    samples: int,
+    seed: int,
+    *,
+    clean_wires: Sequence[int] = (),
+) -> List[BasisState]:
+    """Deterministic sample of basis states, shared by every sampled check.
+
+    One seeded :class:`numpy.random.Generator` drives the sampled fallbacks
+    of the ``assert_*`` helpers, the test-suite samplers in ``conftest`` and
+    the fuzz generators, so a failure reported with its seed reproduces the
+    exact state sequence anywhere.  Wires listed in ``clean_wires`` are
+    pinned to ``0`` (the clean-ancilla contract).  States are drawn one digit
+    per wire, so the sampler works on registers far beyond ``int64`` flat
+    indices.
+    """
+    rng = np.random.default_rng(seed)
+    states = rng.integers(0, dim, size=(samples, num_wires))
+    clean = [w for w in clean_wires]
+    if clean:
+        states[:, clean] = 0
+    return [tuple(int(digit) for digit in row) for row in states]
+
+
+def propagate_samples(circuit, states: Sequence[BasisState]) -> List[List[int]]:
+    """Images of sampled basis states, all propagated in ONE batched pass.
+
+    Encodes the digit rows to flat indices, pushes them through
+    :meth:`repro.ir.table.GateTable.apply_to_indices` (per-row stride
+    arithmetic on just the batch — no ``d^n`` table), and decodes back.
+    Row order is preserved, so callers can recover the failing sample index.
+    """
+    if not states:
+        return []
+    require_int64_basis(circuit.dim, circuit.num_wires, "sampled index propagation")
+    strides = np.array(
+        [circuit.dim**e for e in range(circuit.num_wires - 1, -1, -1)], dtype=np.int64
+    )
+    indices = np.asarray(states, dtype=np.int64) @ strides
+    images = circuit.to_table().apply_to_indices(indices)
+    return indices_to_digits(images, circuit.dim, circuit.num_wires).tolist()
+
+
+def sample_recipe(
+    dim: int, num_wires: int, samples: int, seed: int, clean_wires: Sequence[int] = ()
+) -> str:
+    """The copy-pasteable recipe regenerating a sampled state sequence."""
+    recipe = f"sample_basis_states({dim}, {num_wires}, {samples}, {seed}"
+    clean = tuple(clean_wires)
+    return recipe + (f", clean_wires={clean})" if clean else ")")
+
+
+# ----------------------------------------------------------------------
+# Tier 1 — structural checks on the GateTable columns
+# ----------------------------------------------------------------------
+
+
+def structural_check(circuit) -> Dict[str, int]:
+    """Cheap ``O(rows)`` sanity scan of the circuit's columnar form.
+
+    Validates opcodes, wire ranges and distinctness, predicate/payload pool
+    ids, and that every referenced control predicate is *valid* for the
+    circuit dimension (a control value ``>= d`` can never fire, which turns
+    the row into a silent identity).  Returns summary stats; raises
+    :class:`VerificationError` naming the first offending rows otherwise.
+    """
+    from repro.ir.table import OP_PERM, OP_STAR, OP_UNITARY
+
+    table = circuit.to_table()
+    num_wires = table.num_wires
+    dim = table.dim
+    pools = table.pools
+    problems: List[str] = []
+
+    def note(mask: np.ndarray, describe: Callable[[int], str]) -> None:
+        rows = np.nonzero(mask)[0]
+        for row in rows[:3]:
+            problems.append(describe(int(row)))
+
+    opcode = table.opcode
+    note(
+        (opcode < OP_PERM) | (opcode > OP_STAR),
+        lambda r: f"row {r}: unknown opcode {int(opcode[r])}",
+    )
+    target = table.target
+    note(
+        (target < 0) | (target >= num_wires),
+        lambda r: f"row {r}: target wire {int(target[r])} out of range for "
+        f"{num_wires} wires",
+    )
+    star = opcode == OP_STAR
+    for label, wires in (("wire_a", table.wire_a), ("wire_b", table.wire_b)):
+        note(
+            (wires < -1) | (wires >= num_wires),
+            lambda r, label=label, wires=wires: f"row {r}: {label} "
+            f"{int(wires[r])} out of range for {num_wires} wires",
+        )
+    note(star & (table.wire_a < 0), lambda r: f"row {r}: star row has no star wire")
+    note(
+        (table.wire_a >= 0) & (table.wire_a == target),
+        lambda r: f"row {r}: control wire {int(table.wire_a[r])} duplicates the target",
+    )
+    note(
+        (table.wire_b >= 0) & (table.wire_b == target),
+        lambda r: f"row {r}: control wire {int(table.wire_b[r])} duplicates the target",
+    )
+    note(
+        (table.wire_a >= 0) & (table.wire_a == table.wire_b),
+        lambda r: f"row {r}: duplicate control wire {int(table.wire_a[r])}",
+    )
+
+    num_preds = len(pools.preds)
+    for label, wires, preds in (
+        ("pred_a", table.wire_a, table.pred_a),
+        ("pred_b", table.wire_b, table.pred_b),
+    ):
+        ordinary = ~star if label == "pred_a" else np.ones(len(table), dtype=bool)
+        note(
+            ordinary & (wires >= 0) & ((preds < 0) | (preds >= num_preds)),
+            lambda r, label=label, preds=preds: f"row {r}: {label} id "
+            f"{int(preds[r])} outside the predicate pool (size {num_preds})",
+        )
+    payload = table.payload
+    note(
+        (opcode == OP_PERM) & ((payload < 0) | (payload >= max(len(pools.perms), 1))),
+        lambda r: f"row {r}: permutation payload id {int(payload[r])} outside "
+        f"the pool (size {len(pools.perms)})",
+    )
+    note(
+        (opcode == OP_UNITARY)
+        & ((payload < 0) | (payload >= max(len(pools.unitaries), 1))),
+        lambda r: f"row {r}: unitary payload id {int(payload[r])} outside "
+        f"the pool (size {len(pools.unitaries)})",
+    )
+    note(
+        star & (payload != 1) & (payload != -1),
+        lambda r: f"row {r}: star shift sign must be ±1, got {int(payload[r])}",
+    )
+    num_extras = len(pools.extras)
+    extra = table.extra
+    note(
+        (extra < -1) | (extra >= num_extras),
+        lambda r: f"row {r}: extra-controls id {int(extra[r])} outside the "
+        f"pool (size {num_extras})",
+    )
+
+    # Predicate validity for this dimension: a referenced predicate whose
+    # control value is >= d can never fire, so the row silently degenerates
+    # to the identity — exactly the vacuous-verification trap.
+    used: List[int] = []
+    for slot, wires, preds in (
+        ("a", table.wire_a, table.pred_a),
+        ("b", table.wire_b, table.pred_b),
+    ):
+        mask = ~star if slot == "a" else np.ones(len(table), bool)
+        ids = preds[mask & (wires >= 0) & (preds >= 0) & (preds < num_preds)]
+        used.extend(int(p) for p in ids)
+    for eid in np.unique(extra[(extra >= 0) & (extra < num_extras)]):
+        for wire, pid in pools.extras.entry(int(eid)):
+            if not 0 <= wire < num_wires:
+                problems.append(
+                    f"extra-controls entry {int(eid)}: control wire {wire} out of "
+                    f"range for {num_wires} wires"
+                )
+            if 0 <= pid < num_preds:
+                used.append(int(pid))
+            else:
+                problems.append(
+                    f"extra-controls entry {int(eid)}: predicate id {pid} outside "
+                    f"the pool (size {num_preds})"
+                )
+    never_fire = 0
+    if used:
+        used_ids = np.unique(np.asarray(used, dtype=np.int64))
+        invalid = pools.preds.invalid_for(dim)
+        for pid in used_ids[invalid[used_ids]]:
+            problems.append(
+                f"control predicate {pools.preds.labels()[int(pid)]!r} is invalid "
+                f"for dimension d={dim} (it can never fire)"
+            )
+        never_fire = int(pools.preds.never_fires(dim)[used_ids].sum())
+
+    if problems:
+        shown = "; ".join(problems[:5])
+        more = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
+        raise VerificationError(
+            f"circuit {circuit.name!r} failed the structural check: {shown}{more}"
+        )
+    return {
+        "rows": len(table),
+        "never_fire_controls": never_fire,
+    }
+
+
+# ----------------------------------------------------------------------
+# Tiers 2 & 4 — permutation-spec and wire-preservation kernels
+# ----------------------------------------------------------------------
+
+
+def spec_exhaustive(circuit, spec: Spec, clean_wires: Sequence[int] = ()) -> int:
+    """Whole-basis gather-table check of ``circuit`` against ``spec``."""
+    from repro.sim.permutation import permutation_index_table
+
+    clean = tuple(clean_wires)
+    table = permutation_index_table(circuit)
+    sources = digit_matrix(circuit.dim, circuit.num_wires).tolist()
+    images = indices_to_digits(table, circuit.dim, circuit.num_wires).tolist()
+    checked = 0
+    for source, image in zip(sources, images):
+        state = tuple(source)
+        if any(state[w] != 0 for w in clean):
+            continue
+        checked += 1
+        expected = tuple(spec(state))
+        actual = tuple(image)
+        if actual != expected:
+            raise VerificationError(
+                f"circuit {circuit.name!r} maps {state} to {actual}, expected {expected}"
+            )
+    return checked
+
+
+def spec_sampled(
+    circuit,
+    spec: Spec,
+    samples: int,
+    seed: int,
+    clean_wires: Sequence[int] = (),
+) -> Tuple[int, str]:
+    """Sampled batched index-propagation check of ``circuit`` vs ``spec``.
+
+    All samples propagate through ONE batched index pass (O(rows · samples)
+    stride arithmetic, no ``d^n`` table and no per-state Python loop), so the
+    sampled branch works on registers far beyond any statevector; only the
+    spec callback runs per state.  Returns ``(states_checked, replay)``.
+    """
+    clean = tuple(clean_wires)
+    states = sample_basis_states(
+        circuit.dim, circuit.num_wires, samples, seed, clean_wires=clean
+    )
+    images = propagate_samples(circuit, states)
+    recipe = sample_recipe(circuit.dim, circuit.num_wires, samples, seed, clean)
+    for row, (state, image) in enumerate(zip(states, images)):
+        expected = tuple(spec(state))
+        actual = tuple(image)
+        if actual != expected:
+            raise VerificationError(
+                f"circuit {circuit.name!r} maps {state} to {actual}, expected {expected} "
+                f"(sampled check, seed={seed}, failing row {row}; rerun with {recipe}[{row}])"
+            )
+    return len(states), recipe
+
+
+def wires_preserved_exhaustive(circuit, wires: Sequence[int]) -> int:
+    """Whole-basis check that ``circuit`` restores the watched wires."""
+    from repro.sim.permutation import states_differing_on
+
+    wires = tuple(wires)
+    # Fully vectorized: states_differing_on compares the watched wires of
+    # every basis state with its image under the composed gather table.
+    offenders = states_differing_on(circuit, wires)
+    if offenders:
+        state, output = offenders[0]
+        mismatch = [w for w in wires if output[w] != state[w]]
+        raise VerificationError(
+            f"circuit {circuit.name!r} modified wires {mismatch} on input {state}: {output}"
+        )
+    return basis_size(circuit.dim, circuit.num_wires)
+
+
+def wires_preserved_sampled(
+    circuit, wires: Sequence[int], samples: int, seed: int
+) -> Tuple[int, str]:
+    """Sampled batched check that ``circuit`` restores the watched wires."""
+    wires = tuple(wires)
+    states = sample_basis_states(circuit.dim, circuit.num_wires, samples, seed)
+    # Batched like the permutation-spec kernel: one index pass for all
+    # samples, then a vectorized compare of just the watched wires.
+    images = np.asarray(propagate_samples(circuit, states))
+    sources = np.asarray(states)
+    watched = list(wires)
+    diff = images[:, watched] != sources[:, watched]
+    bad_rows = np.nonzero(diff.any(axis=1))[0]
+    recipe = sample_recipe(circuit.dim, circuit.num_wires, samples, seed)
+    if bad_rows.size:
+        row = int(bad_rows[0])
+        state = tuple(int(v) for v in sources[row])
+        output = tuple(int(v) for v in images[row])
+        mismatch = [w for w in wires if output[w] != state[w]]
+        raise VerificationError(
+            f"circuit {circuit.name!r} modified wires {mismatch} on input "
+            f"{state}: {output} (sampled check, seed={seed}, failing row "
+            f"{row}; rerun with sample_basis_states({circuit.dim}, "
+            f"{circuit.num_wires}, {samples}, {seed})[{row}])"
+        )
+    return len(states), recipe
+
+
+# ----------------------------------------------------------------------
+# Tiers 3 & 4 — unitary kernels
+# ----------------------------------------------------------------------
+
+
+def _alignment_phase(expected_value: complex, actual_value: complex, atol: float, where: str):
+    """The unit-modulus alignment factor, or raise if none exists.
+
+    A *global phase* has unit modulus by definition; accepting any complex
+    ratio here would let ``actual = 0.5 * expected`` pass as "equal up to a
+    phase".
+    """
+    phase = expected_value / actual_value
+    modulus = abs(phase)
+    if abs(modulus - 1.0) > max(atol, 1e-12):
+        raise VerificationError(
+            f"cannot align global phase{where}: alignment factor has modulus "
+            f"{modulus:.6g}, not a unit phase (is the circuit a scaled copy "
+            f"of the expected unitary?)"
+        )
+    return phase
+
+
+def unitary_dense(
+    circuit,
+    expected: np.ndarray,
+    *,
+    atol: float = 1e-8,
+    up_to_global_phase: bool = False,
+    backend=None,
+) -> int:
+    """Dense matrix compare of the circuit's unitary against ``expected``."""
+    from repro.sim.unitary import circuit_unitary
+
+    actual = circuit_unitary(circuit, backend=backend)
+    if actual.shape != expected.shape:
+        raise VerificationError(
+            f"unitary shape mismatch: circuit {actual.shape}, expected {expected.shape}"
+        )
+    if up_to_global_phase:
+        # Align phases using the largest-magnitude entry of the expected matrix.
+        index = np.unravel_index(np.argmax(np.abs(expected)), expected.shape)
+        if abs(actual[index]) < atol:
+            raise VerificationError("cannot align global phase: mismatched support")
+        actual = actual * _alignment_phase(expected[index], actual[index], atol, "")
+    if not np.allclose(actual, expected, atol=atol):
+        deviation = float(np.max(np.abs(actual - expected)))
+        raise VerificationError(
+            f"circuit {circuit.name!r} deviates from the expected unitary by {deviation:.3e}"
+        )
+    return expected.shape[1] if expected.ndim == 2 else 1
+
+
+def unitary_columns(
+    circuit,
+    expected_column: Callable[[int], np.ndarray],
+    *,
+    samples: int = 8,
+    required_columns: Sequence[int] = (),
+    seed: int = 13,
+    atol: float = 1e-8,
+    up_to_global_phase: bool = False,
+    backend=None,
+) -> Tuple[int, str]:
+    """Sampled-column unitary check for bases too large to build a matrix.
+
+    The dense compare materialises two ``basis²`` matrices, which caps it
+    near basis 1024.  This kernel evolves ``samples`` distinct basis columns
+    as ONE ``(d^n, s)`` batch through the simulation engine — about the cost
+    of a few statevector evolutions, no matrix anywhere — and compares each
+    against ``expected_column(flat_index)``, which callers can usually
+    compute in closed form (e.g. a multi-controlled unitary is the identity
+    column everywhere outside the fired block).  Columns are drawn one digit
+    per wire (never through a flat ``rng.integers(0, d^n)``, which breaks
+    past ``int64``).  ``required_columns`` pins columns that must always be
+    checked (the fired block), since a uniform draw over a huge basis would
+    almost never hit them.  With ``up_to_global_phase`` one phase is aligned
+    on the first column and must fit every other column — per-column phases
+    would accept circuits that differ by a non-global diagonal.
+    """
+    from repro.sim.backend import get_backend
+
+    size = require_int64_basis(circuit.dim, circuit.num_wires, "sampled-column check")
+    rng = np.random.default_rng(seed)
+    digits = rng.integers(
+        0, circuit.dim, size=(max(int(samples), 1), circuit.num_wires)
+    )
+    strides = np.array(
+        [circuit.dim**e for e in range(circuit.num_wires - 1, -1, -1)], dtype=np.int64
+    )
+    drawn = digits.astype(np.int64) @ strides
+    pinned = np.asarray(list(required_columns), dtype=np.int64)
+    columns = np.unique(np.concatenate([pinned, drawn]))
+    if columns.size and (columns.min() < 0 or columns.max() >= size):
+        raise VerificationError(f"required column out of range for basis {size}")
+    data = np.zeros((size, columns.size), dtype=complex)
+    data[columns, np.arange(columns.size)] = 1.0
+    evolved = np.asarray(get_backend(backend).apply_circuit_batch(data, circuit))
+    recipe = (
+        f"unitary_columns(circuit, expected_column, samples={samples}, "
+        f"required_columns={tuple(int(c) for c in pinned.tolist())}, seed={seed})"
+    )
+    phase = None
+    for b, col in enumerate(columns.tolist()):
+        expected = np.asarray(expected_column(int(col)), dtype=complex).reshape(-1)
+        if expected.shape != (size,):
+            raise VerificationError(
+                f"expected_column({col}) returned shape {expected.shape}, want ({size},)"
+            )
+        actual = evolved[:, b]
+        if up_to_global_phase:
+            index = int(np.argmax(np.abs(expected)))
+            if abs(actual[index]) < atol:
+                raise VerificationError(
+                    f"cannot align global phase on column {col}: mismatched support"
+                )
+            column_phase = _alignment_phase(
+                expected[index], actual[index], atol, f" on column {col}"
+            )
+            if phase is None:
+                phase = column_phase
+            elif abs(column_phase - phase) > 10 * atol:
+                raise VerificationError(
+                    f"circuit {circuit.name!r} phase on column {col} disagrees with "
+                    f"column {int(columns[0])} — not a global phase "
+                    f"(sampled-column check, seed={seed})"
+                )
+            actual = actual * phase
+        if not np.allclose(actual, expected, atol=atol):
+            deviation = float(np.max(np.abs(actual - expected)))
+            raise VerificationError(
+                f"circuit {circuit.name!r} column {col} deviates from the expected "
+                f"unitary column by {deviation:.3e} (sampled-column check, "
+                f"seed={seed}, {columns.size} columns)"
+            )
+    return int(columns.size), recipe
+
+
+def unitary_clean_subspace(
+    circuit,
+    expected: np.ndarray,
+    data_wires: Sequence[int],
+    clean_wires: Sequence[int],
+    *,
+    atol: float = 1e-8,
+    backend=None,
+) -> int:
+    """Check a circuit that uses clean ancillas against a data-wire unitary.
+
+    The circuit is only required to implement ``expected`` on the subspace
+    where every clean ancilla starts in ``|0⟩`` and to return the ancillas to
+    ``|0⟩`` (i.e. not leak amplitude outside that subspace).  ``expected``
+    acts on the data wires only.
+    """
+    from repro.sim.unitary import circuit_unitary
+
+    data_wires = tuple(data_wires)
+    clean_wires = tuple(clean_wires)
+    full = circuit_unitary(circuit, backend=backend)
+    dim = circuit.dim
+    size_data = dim ** len(data_wires)
+    if expected.shape != (size_data, size_data):
+        raise VerificationError("expected matrix shape does not match the data wires")
+
+    block = np.zeros((size_data, size_data), dtype=complex)
+    leakage = 0.0
+    for col_data in range(size_data):
+        col_digits = _merge_digits(circuit, data_wires, clean_wires, col_data)
+        col_index = sum(
+            digit * dim ** (circuit.num_wires - 1 - wire) for wire, digit in col_digits.items()
+        )
+        column = full[:, col_index]
+        for row_index, amplitude in enumerate(column):
+            if abs(amplitude) < 1e-14:
+                continue
+            digits = list(_index_digits(row_index, dim, circuit.num_wires))
+            if any(digits[w] != 0 for w in clean_wires):
+                leakage = max(leakage, abs(amplitude))
+                continue
+            row_data = 0
+            for wire in data_wires:
+                row_data = row_data * dim + digits[wire]
+            block[row_data, col_data] += amplitude
+    if leakage > atol:
+        raise VerificationError(
+            f"circuit {circuit.name!r} leaks amplitude {leakage:.3e} into non-zero ancilla states"
+        )
+    if not np.allclose(block, expected, atol=atol):
+        deviation = float(np.max(np.abs(block - expected)))
+        raise VerificationError(
+            f"circuit {circuit.name!r} deviates from the expected unitary by {deviation:.3e} "
+            "on the clean-ancilla subspace"
+        )
+    return size_data
+
+
+def _merge_digits(circuit, data_wires, clean_wires, data_index):
+    dim = circuit.dim
+    digits = {wire: 0 for wire in range(circuit.num_wires)}
+    remaining = data_index
+    for wire in reversed(data_wires):
+        digits[wire] = remaining % dim
+        remaining //= dim
+    for wire in clean_wires:
+        digits[wire] = 0
+    return digits
+
+
+def _index_digits(index, dim, num_wires):
+    digits = [0] * num_wires
+    for position in range(num_wires - 1, -1, -1):
+        digits[position] = index % dim
+        index //= dim
+    return digits
+
+
+# ----------------------------------------------------------------------
+# Spec builders
+# ----------------------------------------------------------------------
+
+
+def _check_digit_range(label: str, digits: Sequence[int], dim: int) -> None:
+    """Reject spec digits outside ``0..dim-1``.
+
+    An out-of-range control value or swap digit can never match any basis
+    digit, so the spec silently degenerates toward the identity and the
+    verification passes vacuously.
+    """
+    bad = sorted({int(v) for v in digits if not 0 <= int(v) < dim})
+    if bad:
+        raise VerificationError(
+            f"{label} {bad} out of range for dimension d={dim} "
+            f"(digits must be in 0..{dim - 1})"
+        )
+
+
+def mct_spec(
+    controls: Sequence[int],
+    target: int,
+    dim: int,
+    *,
+    control_values: Optional[Sequence[int]] = None,
+    swap: Tuple[int, int] = (0, 1),
+) -> Spec:
+    """Return the specification of a multi-controlled ``X_{ij}`` gate.
+
+    The returned function maps a basis state to the state with the target
+    digit swapped between ``swap[0]`` and ``swap[1]`` exactly when every
+    control digit matches its control value (default all zeros, the paper's
+    ``|0^k⟩-Xij``); every other wire, and in particular any ancilla wire, is
+    left untouched.  Control values and swap digits are validated against
+    ``dim`` — out-of-range digits would make the spec vacuous.
+    """
+    values = tuple(control_values) if control_values is not None else (0,) * len(controls)
+    if len(values) != len(controls):
+        raise VerificationError("control_values length must match the number of controls")
+    _check_digit_range("control values", values, dim)
+    i, j = swap
+    _check_digit_range("swap digits", (i, j), dim)
+    if i == j:
+        raise VerificationError(f"swap digits must be distinct, got {tuple(swap)}")
+
+    def spec(state: BasisState) -> BasisState:
+        output = list(state)
+        if all(state[c] == v for c, v in zip(controls, values)):
+            if output[target] == i:
+                output[target] = j
+            elif output[target] == j:
+                output[target] = i
+        return tuple(output)
+
+    return spec
+
+
+def mc_shift_spec(
+    controls: Sequence[int],
+    target: int,
+    dim: int,
+    shift: int = 1,
+    *,
+    control_values: Optional[Sequence[int]] = None,
+) -> Spec:
+    """Specification of the multi-controlled ``X+shift`` gate (``|0^k⟩-X+y``)."""
+    values = tuple(control_values) if control_values is not None else (0,) * len(controls)
+    if len(values) != len(controls):
+        raise VerificationError("control_values length must match the number of controls")
+    _check_digit_range("control values", values, dim)
+
+    def spec(state: BasisState) -> BasisState:
+        output = list(state)
+        if all(state[c] == v for c, v in zip(controls, values)):
+            output[target] = (output[target] + shift) % dim
+        return tuple(output)
+
+    return spec

@@ -1,0 +1,130 @@
+"""Verification reports: which tier decided, why, and how to replay it."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import VerificationError
+
+#: Report / tier-record statuses.
+STATUS_VERIFIED = "verified"
+STATUS_FAILED = "failed"
+STATUS_UNDECIDED = "undecided"
+STATUS_SKIPPED = "skipped"
+STATUS_PASSED = "passed"  # tier ran and found nothing, but did not decide
+STATUS_DECIDED = "decided"  # tier ran and its verdict settles the check
+
+
+@dataclass
+class TierRecord:
+    """What one tier did during a verification run."""
+
+    tier: int
+    name: str
+    status: str  # "decided" | "passed" | "failed" | "skipped"
+    detail: str = ""
+    states_checked: int = 0
+    seed: Optional[int] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "tier": self.tier,
+            "name": self.name,
+            "status": self.status,
+            "detail": self.detail,
+            "states_checked": self.states_checked,
+        }
+        if self.seed is not None:
+            payload["seed"] = self.seed
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "TierRecord":
+        return cls(
+            tier=int(payload["tier"]),
+            name=str(payload["name"]),
+            status=str(payload["status"]),
+            detail=str(payload.get("detail", "")),
+            states_checked=int(payload.get("states_checked", 0)),
+            seed=payload.get("seed"),
+        )
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a tiered verification run.
+
+    ``status`` is ``"verified"`` when some tier decided the check and it
+    passed, ``"failed"`` when a tier found a divergence, and ``"undecided"``
+    when the budget ruled out every tier that could have decided (callers
+    treat that as a skip, never as a pass).  ``decided_by`` names the
+    deciding tier; ``replay`` holds a copy-pasteable recipe regenerating the
+    exact sampled states when a sampled tier decided.
+    """
+
+    kind: str
+    circuit: str
+    status: str
+    decided_by: Optional[str] = None
+    tier_reached: int = 0
+    states_checked: int = 0
+    error: Optional[str] = None
+    replay: Optional[str] = None
+    records: List[TierRecord] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True only when a tier decided the check and it passed."""
+        return self.status == STATUS_VERIFIED
+
+    @property
+    def undecided(self) -> bool:
+        return self.status == STATUS_UNDECIDED
+
+    def raise_if_failed(self) -> "VerificationReport":
+        """Re-raise the recorded failure; returns ``self`` otherwise."""
+        if self.status == STATUS_FAILED:
+            raise VerificationError(self.error or f"{self.kind} verification failed")
+        return self
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        if self.status == STATUS_VERIFIED:
+            return (
+                f"{self.kind}: verified by {self.decided_by} tier "
+                f"({self.states_checked} states checked)"
+            )
+        if self.status == STATUS_FAILED:
+            return f"{self.kind}: FAILED at {self.decided_by} tier — {self.error}"
+        return f"{self.kind}: undecided (budget ruled out every deciding tier)"
+
+    def to_json(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "kind": self.kind,
+            "circuit": self.circuit,
+            "status": self.status,
+            "decided_by": self.decided_by,
+            "tier_reached": self.tier_reached,
+            "states_checked": self.states_checked,
+            "records": [record.to_json() for record in self.records],
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.replay is not None:
+            payload["replay"] = self.replay
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "VerificationReport":
+        return cls(
+            kind=str(payload["kind"]),
+            circuit=str(payload["circuit"]),
+            status=str(payload["status"]),
+            decided_by=payload.get("decided_by"),
+            tier_reached=int(payload.get("tier_reached", 0)),
+            states_checked=int(payload.get("states_checked", 0)),
+            error=payload.get("error"),
+            replay=payload.get("replay"),
+            records=[TierRecord.from_json(r) for r in payload.get("records", [])],
+        )
