@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""CI smoke for the ``python -m repro serve`` daemon.
+
+Boots the daemon on an ephemeral port with a warmed compile cache, pushes
+a small mixed workload through the HTTP front end via
+:class:`repro.serve.ServeClient`, then scrapes ``/healthz`` and
+``/metrics`` and fails loudly if anything is off:
+
+* any endpoint answers non-2xx, or a workload row comes back ``ok=False``;
+* required metrics counters are missing, or accepted != completed;
+* the warm resubmit does not show up as compile-cache hits
+  (``hit_rate`` must be positive after the second submit);
+* the daemon does not exit 0 on SIGTERM (graceful drain).
+
+The scraped metrics snapshot is persisted to
+``benchmarks/results/serve_smoke.json`` so the CI artifact upload
+(``benchmarks/results/*.json``) keeps it for inspection.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py          # full
+    PYTHONPATH=src python benchmarks/serve_smoke.py --quick  # CI smoke
+
+``--quick`` only trims the request count; every assertion still runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from _harness import emit_json
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import ServeClient
+
+SPEC = {
+    "requests": [
+        {"kind": "synthesize", "strategy": "mct", "d": 3, "k": 4},
+        {"kind": "estimate", "strategy": "mct", "d": 3, "k": 5},
+        {"kind": "simulate", "strategy": "mct", "d": 3, "k": 4,
+         "states": [[0, 0, 0, 0, 1], [1, 0, 0, 0, 1]]},
+    ]
+}
+
+REQUIRED_COUNTERS = (
+    "requests", "queue_depth", "in_flight", "cache", "latency", "queue_wait",
+)
+
+
+def boot_daemon(cache_dir: pathlib.Path, workdir: pathlib.Path) -> tuple:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--cache-dir", str(cache_dir)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=str(workdir),
+    )
+    line = process.stdout.readline()
+    if not line.startswith("serving on "):
+        stderr = process.stderr.read()
+        raise SystemExit(f"daemon failed to start: {line!r}\n{stderr}")
+    client = ServeClient(line.split()[-1], timeout=120.0)
+    client.wait_ready()
+    return process, client
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"serve smoke FAILED: {message}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="single submit pass per phase (CI smoke)")
+    args = parser.parse_args()
+    resubmits = 1 if args.quick else 3
+
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        tmp_path = pathlib.Path(tmp)
+        process, client = boot_daemon(tmp_path / "cache", tmp_path)
+        try:
+            status, health = client.healthz()
+            check(status == 200, f"/healthz answered {status}")
+            check(health.get("status") == "ok", f"unhealthy: {health}")
+
+            # Cold submit compiles; warm resubmits must hit the cache.
+            for attempt in range(1 + resubmits):
+                status, payload = client.submit(SPEC)
+                check(status == 200,
+                      f"submit #{attempt} answered {status}: {payload}")
+                check(payload.get("ok") is True,
+                      f"submit #{attempt} had failed rows: {payload}")
+                check(len(payload["rows"]) == len(SPEC["requests"]),
+                      f"submit #{attempt} returned {len(payload['rows'])} rows")
+
+            status, metrics = client.metrics()
+            check(status == 200, f"/metrics answered {status}")
+            for counter in REQUIRED_COUNTERS:
+                check(counter in metrics, f"/metrics missing {counter!r}")
+            requests = metrics["requests"]
+            expected = (1 + resubmits) * len(SPEC["requests"])
+            check(requests["accepted"] == expected,
+                  f"accepted {requests['accepted']} != {expected}")
+            check(requests["completed"] == expected,
+                  f"completed {requests['completed']} != accepted {expected}")
+            check(requests["failed"] == 0, f"failed rows: {requests}")
+            hit_rate = metrics["cache"].get("hit_rate")
+            check(hit_rate is not None and hit_rate > 0.0,
+                  f"warm resubmits produced no cache hits: {metrics['cache']}")
+
+            process.send_signal(signal.SIGTERM)
+            returncode = process.wait(timeout=60)
+            stderr = process.stderr.read()
+            check(returncode == 0,
+                  f"SIGTERM drain exited {returncode}: {stderr}")
+            check("drained cleanly" in stderr,
+                  f"no drain confirmation on stderr: {stderr!r}")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+    payload = {
+        "quick": args.quick,
+        "requests": requests,
+        "cache": metrics["cache"],
+        "queue_wait_count": metrics["queue_wait"]["count"],
+        "drain_returncode": returncode,
+    }
+    stem = "serve_smoke_quick" if args.quick else "serve_smoke"
+    emit_json(stem, payload)
+    print(f"serve smoke OK: {expected} requests, "
+          f"hit_rate={hit_rate:.3f}, drained cleanly")
+
+
+if __name__ == "__main__":
+    main()

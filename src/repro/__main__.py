@@ -445,6 +445,23 @@ def _cmd_dse(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import ServeConfig, run_daemon
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        unix_socket=args.unix_socket,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        max_queued=args.max_queued,
+        max_batch=args.max_batch,
+        warmup=args.warmup,
+        warm_scan=not args.no_warm_scan,
+    )
+    return run_daemon(config)
+
+
 def _cmd_fuzz(args) -> int:
     from repro.fuzz import ORACLE_NAMES, fuzz_run
 
@@ -643,6 +660,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse.add_argument("--report", help="also write the JSON report to this path")
     p_dse.add_argument("--json", action="store_true", help="emit JSON on stdout")
     p_dse.set_defaults(func=_cmd_dse)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="persistent compile/simulate daemon (JSON over HTTP; SIGTERM drains)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8752, help="TCP port (0 picks an ephemeral port)"
+    )
+    p_serve.add_argument(
+        "--unix-socket", default=None, help="serve on this unix socket instead of TCP"
+    )
+    p_serve.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = run in-process)"
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent compile-cache directory shared by workers "
+        "(required for --jobs > 1)",
+    )
+    p_serve.add_argument(
+        "--max-queued",
+        type=int,
+        default=256,
+        help="admission bound: requests queued beyond this are rejected with 429",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="maximum requests accepted in one submit",
+    )
+    p_serve.add_argument(
+        "--warmup",
+        default=None,
+        help="workload spec JSON replayed through the pool before serving "
+        "(populates the compile cache)",
+    )
+    p_serve.add_argument(
+        "--no-warm-scan",
+        action="store_true",
+        help="skip pre-loading the newest on-disk cache entries at startup",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_fuzz = sub.add_parser(
         "fuzz", help="differential fuzzing across every redundant engine pair"

@@ -59,6 +59,16 @@ class DSEError(ReproError):
     match, or a frontier query over objectives the store does not carry."""
 
 
+class ServeError(ReproError):
+    """Raised by the serving layer: a malformed submit body, a request
+    rejected by admission control (queue full, oversized batch, daemon
+    draining), or a daemon misconfiguration (e.g. a multi-process pool
+    without a shared cache directory)."""
+
+    #: HTTP status the daemon maps this error to (subclasses override).
+    status = 400
+
+
 class EstimationError(ReproError):
     """Raised when the analytic resource estimator cannot produce an exact
     count — an unsupported strategy/parameter combination, or a calibration

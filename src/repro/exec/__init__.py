@@ -27,18 +27,24 @@ from repro.exec.serialize import (
 )
 from repro.exec.service import CompileOutcome, compile_lowered, lowered_key
 from repro.exec.workload import (
+    STATS_FIELDS,
     WorkloadPlan,
     WorkloadReport,
     WorkloadRequest,
     WorkloadSpec,
     execute_request,
+    execute_request_raw,
+    execute_with_stats,
+    merge_cache_stats,
     plan_workload,
     run_workload,
+    zero_cache_stats,
 )
 
 __all__ = [
     "CODE_VERSION",
     "FORMAT_VERSION",
+    "STATS_FIELDS",
     "CacheEntry",
     "CacheStats",
     "CompileCache",
@@ -51,11 +57,15 @@ __all__ = [
     "cache_key",
     "compile_lowered",
     "execute_request",
+    "execute_request_raw",
+    "execute_with_stats",
     "load_table",
     "lowered_key",
+    "merge_cache_stats",
     "pipeline_spec",
     "plan_workload",
     "run_workload",
     "save_table",
     "table_to_arrays",
+    "zero_cache_stats",
 ]

@@ -290,6 +290,43 @@ class CompileCache:
             total -= size
 
     # ------------------------------------------------------------------
+    # Startup warming
+    # ------------------------------------------------------------------
+    def warm_scan(self, limit: Optional[int] = None) -> Dict[str, int]:
+        """Promote the newest on-disk entries into the in-process memo.
+
+        Startup warming for long-running services: each entry goes through
+        the normal :meth:`get` path, so its ``.npz`` is mmap'd (faulting
+        its pages into the OS page cache, which fork-pool workers then
+        share) and corrupt archives are dropped rather than served later.
+        At most ``limit`` entries are loaded (default: the memo capacity),
+        newest-mtime first so the memo LRU ends with the hottest entries
+        freshest.  Counts as ordinary cache traffic in :attr:`stats`.
+
+        Returns ``{"scanned", "warmed", "dropped", "bytes"}``.
+        """
+        summary = {"scanned": 0, "warmed": 0, "dropped": 0, "bytes": 0}
+        if self.cache_dir is None:
+            return summary
+        if limit is None:
+            limit = self.max_memo_entries
+        entries = self._disk_entries()  # oldest first
+        chosen = entries[-limit:] if limit >= 0 else entries
+        for _, size, key in chosen:  # oldest → newest keeps LRU order right
+            summary["scanned"] += 1
+            try:
+                self._check_key(key)
+            except CacheError:  # a foreign file in the directory, not ours
+                summary["dropped"] += 1
+                continue
+            if self.get(key) is None:
+                summary["dropped"] += 1
+            else:
+                summary["warmed"] += 1
+                summary["bytes"] += size
+        return summary
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def keys(self) -> List[str]:

@@ -35,6 +35,7 @@ import json
 import multiprocessing
 import os
 import time
+import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -236,12 +237,27 @@ def plan_workload(spec: WorkloadSpec, *, salt: str = CODE_VERSION) -> WorkloadPl
 
 
 # ----------------------------------------------------------------------
-# Single-request execution (shared by the serial and pooled paths)
+# Single-request execution (shared by the serial, pooled and serve paths)
 # ----------------------------------------------------------------------
-def execute_request(request: WorkloadRequest, cache: Optional[CompileCache]) -> Dict[str, object]:
-    """Run one request against (and through) the compile cache."""
+def execute_request(
+    request: WorkloadRequest,
+    cache: Optional[CompileCache],
+    *,
+    index: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run one request against (and through) the compile cache.
+
+    Exception-total: *any* failure — a :class:`ReproError` or an unexpected
+    exception from a backend / numpy — becomes an ``ok=False`` row instead
+    of propagating, so one poisoned request can never abort its siblings in
+    ``pool.map`` (or kill a serve-daemon worker).  ``index`` is the
+    request's position in its workload and is recorded on the row so error
+    reports name the right request.
+    """
     start = time.perf_counter()
     row: Dict[str, object] = dict(request.to_dict())
+    if index is not None:
+        row["index"] = int(index)
     try:
         if request.kind == "estimate":
             from repro.synth import registry
@@ -277,8 +293,38 @@ def execute_request(request: WorkloadRequest, cache: Optional[CompileCache]) -> 
     except ReproError as error:
         row["ok"] = False
         row["error"] = f"{type(error).__name__}: {error}"
+    except Exception as error:  # noqa: BLE001 — see the docstring
+        row["ok"] = False
+        row["error"] = f"{type(error).__name__}: {error}"
+        row["traceback"] = traceback.format_exc()
     row["seconds"] = round(time.perf_counter() - start, 6)
     return row
+
+
+def execute_request_raw(
+    raw: Dict[str, object],
+    index: int,
+    cache: Optional[CompileCache],
+) -> Dict[str, object]:
+    """Parse and run one *raw* request dict; exception-total like the above.
+
+    This is the reusable core behind the pool workers and the serve daemon:
+    even a dict that fails :meth:`WorkloadRequest.from_dict` validation
+    comes back as an ``ok=False`` row carrying the real ``index`` instead
+    of raising into the executor.
+    """
+    try:
+        request = WorkloadRequest.from_dict(raw, index)
+    except ReproError as error:
+        row = dict(raw) if isinstance(raw, dict) else {}
+        row.update(
+            index=int(index),
+            ok=False,
+            error=f"{type(error).__name__}: {error}",
+            seconds=0.0,
+        )
+        return row
+    return execute_request(request, cache, index=index)
 
 
 def _verify_macro(request: WorkloadRequest, strategy_name: str) -> Dict[str, object]:
@@ -349,6 +395,49 @@ def _simulate(request: WorkloadRequest, circuit) -> List[str]:
 
 
 # ----------------------------------------------------------------------
+# Cache-counter accounting (shared with the serve daemon's metrics)
+# ----------------------------------------------------------------------
+STATS_FIELDS = ("memo_hits", "disk_hits", "misses", "puts", "evictions")
+
+
+def zero_cache_stats() -> Dict[str, int]:
+    return {name: 0 for name in STATS_FIELDS}
+
+
+def merge_cache_stats(into: Dict[str, int], delta: Dict[str, int]) -> Dict[str, int]:
+    """Accumulate one worker's counter delta into a running total (in place)."""
+    for name in STATS_FIELDS:
+        into[name] = int(into.get(name, 0)) + int(delta.get(name, 0))
+    return into
+
+
+def _stats_delta(
+    cache: Optional[CompileCache], before: Optional[Dict[str, int]]
+) -> Dict[str, int]:
+    if cache is None or before is None:
+        return zero_cache_stats()
+    after = cache.stats.as_dict()
+    return {name: after[name] - before.get(name, 0) for name in STATS_FIELDS}
+
+
+def execute_with_stats(
+    raw: Dict[str, object],
+    index: int,
+    cache: Optional[CompileCache],
+) -> Dict[str, object]:
+    """One raw request plus the real cache-counter delta it caused.
+
+    The pooled runner and the serve daemon both aggregate cache statistics
+    by summing these per-request deltas — the honest counters, not a
+    reconstruction from ``"built"``-provenance strings (which cannot see
+    evictions and conflates misses with puts).
+    """
+    before = cache.stats.as_dict() if cache is not None else None
+    row = execute_request_raw(raw, index, cache)
+    return {"row": row, "cache_stats": _stats_delta(cache, before)}
+
+
+# ----------------------------------------------------------------------
 # Multiprocessing plumbing
 # ----------------------------------------------------------------------
 _WORKER_CACHE: Optional[CompileCache] = None
@@ -361,15 +450,27 @@ def _init_worker(cache_dir: Optional[str], salt: str) -> None:
 
 def _worker_compile(task: Tuple[str, int, int, str]) -> Dict[str, object]:
     strategy, dim, k, engine = task
+    cache = _WORKER_CACHE
+    before = cache.stats.as_dict() if cache is not None else None
     try:
-        outcome = compile_lowered(strategy, dim, k, cache=_WORKER_CACHE, engine=engine)
+        outcome = compile_lowered(strategy, dim, k, cache=cache, engine=engine)
     except ReproError as error:  # the owning request reports the failure
-        return {"cache": "error", "error": f"{type(error).__name__}: {error}"}
-    return {"key": outcome.key, "cache": outcome.source, "seconds": outcome.seconds}
+        return {
+            "cache": "error",
+            "error": f"{type(error).__name__}: {error}",
+            "cache_stats": _stats_delta(cache, before),
+        }
+    return {
+        "key": outcome.key,
+        "cache": outcome.source,
+        "seconds": outcome.seconds,
+        "cache_stats": _stats_delta(cache, before),
+    }
 
 
-def _worker_execute(raw: Dict[str, object]) -> Dict[str, object]:
-    return execute_request(WorkloadRequest.from_dict(raw, 0), _WORKER_CACHE)
+def _worker_execute(task: Tuple[int, Dict[str, object]]) -> Dict[str, object]:
+    index, raw = task
+    return execute_with_stats(raw, index, _WORKER_CACHE)
 
 
 @dataclass
@@ -443,7 +544,10 @@ def run_workload(
                 continue  # the owning request reports the failure below
             if outcome.cache_hit:
                 warm_hits += 1
-        rows = [execute_request(request, cache) for request in spec.requests]
+        rows = [
+            execute_request(request, cache, index=index)
+            for index, request in enumerate(spec.requests)
+        ]
     else:
         tasks = [
             (request.strategy, request.dim, request.k, request.engine)
@@ -458,26 +562,27 @@ def run_workload(
         ) as pool:
             warm = pool.map(_worker_compile, tasks, chunksize=1)
             warm_hits = sum(1 for item in warm if item["cache"] not in ("built", "error"))
-            rows = pool.map(
+            results = pool.map(
                 _worker_execute,
-                [request.to_dict() for request in spec.requests],
+                [
+                    (index, request.to_dict())
+                    for index, request in enumerate(spec.requests)
+                ],
                 chunksize=1,
             )
+        rows = [item["row"] for item in results]
 
     if use_pool:
         # The parent cache saw no traffic — every get/put happened inside
-        # the workers' _WORKER_CACHE instances.  Reconstruct honest counters
-        # from the per-phase provenance instead of reporting zeros.
-        sources = [item["cache"] for item in warm] + [
-            str(row.get("cache", "")) for row in rows
-        ]
-        cache_stats = {
-            "memo_hits": sources.count("memo"),
-            "disk_hits": sources.count("disk"),
-            "misses": sources.count("built"),
-            "puts": sources.count("built"),
-            "evictions": 0,
-        }
+        # the workers' _WORKER_CACHE instances.  Sum the per-task counter
+        # deltas the workers returned: the honest numbers, eviction counts
+        # included (the old provenance reconstruction double-booked every
+        # "built" as a miss *and* a put and could never see an eviction).
+        cache_stats = zero_cache_stats()
+        for item in warm:
+            merge_cache_stats(cache_stats, item.get("cache_stats", {}))
+        for item in results:
+            merge_cache_stats(cache_stats, item.get("cache_stats", {}))
     else:
         cache_stats = cache.stats.as_dict()
     return WorkloadReport(

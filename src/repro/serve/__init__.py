@@ -1,0 +1,67 @@
+"""Persistent compile/simulate service: the ``python -m repro serve`` daemon.
+
+``repro.serve`` promotes the one-shot batch runner (:mod:`repro.exec`)
+into a long-running service —
+
+* :mod:`repro.serve.queue` — :class:`JobQueue`, a bounded
+  ``(priority, arrival)`` heap with async consumers; priorities let cheap
+  verify/estimate traffic overtake heavy simulates;
+* :mod:`repro.serve.admission` — :class:`AdmissionController`,
+  all-or-nothing submit gating mapped onto 429/413/503 rejections;
+* :mod:`repro.serve.metrics` — :class:`ServeMetrics`, request counters,
+  latency histograms and the merged real compile-cache statistics behind
+  ``GET /metrics``;
+* :mod:`repro.serve.server` — :class:`ServeDaemon`, the stdlib asyncio
+  JSON-over-HTTP front end (TCP or unix socket) over the shared
+  fork-pool/:class:`~repro.exec.cache.CompileCache` execution machinery,
+  with startup cache warming and graceful SIGTERM drain;
+* :mod:`repro.serve.client` — :class:`ServeClient`, a small stdlib client
+  used by the tests and the CI smoke step.
+"""
+
+from repro.serve.admission import (
+    DEFAULT_MAX_BATCH,
+    AdmissionController,
+    AdmissionPolicy,
+    priority_for,
+)
+from repro.serve.client import ServeClient
+from repro.serve.metrics import DEFAULT_BUCKETS, LatencyHistogram, ServeMetrics
+from repro.serve.queue import (
+    DEFAULT_MAX_QUEUED,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NAMES,
+    PRIORITY_NORMAL,
+    DrainingError,
+    Job,
+    JobQueue,
+    OversizeError,
+    QueueFullError,
+)
+from repro.serve.server import ServeConfig, ServeDaemon, WorkerPool, run_daemon
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_QUEUED",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NAMES",
+    "PRIORITY_NORMAL",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "DrainingError",
+    "Job",
+    "JobQueue",
+    "LatencyHistogram",
+    "OversizeError",
+    "QueueFullError",
+    "ServeClient",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeMetrics",
+    "WorkerPool",
+    "priority_for",
+    "run_daemon",
+]

@@ -1,0 +1,494 @@
+"""The persistent compile/simulate daemon: ``python -m repro serve``.
+
+A stdlib-only JSON-over-HTTP service on a TCP port or unix socket that
+accepts :class:`~repro.exec.workload.WorkloadSpec`-shaped submits and runs
+them through the existing planner / compile-cache / fork-pool machinery:
+
+* ``POST /v1/workload`` — body ``{"requests": [...]}`` (or a bare list);
+  each request may add an integer ``"priority"`` override.  Responds with
+  the per-request rows once every row has executed; rejects the *whole*
+  submit with 429 (queue full), 413 (oversized batch) or 503 (draining).
+* ``GET  /healthz`` — liveness: status, queue depth, in-flight gauge.
+* ``GET  /metrics`` — counters, per-kind latency histograms, queue-wait
+  histogram and the merged compile-cache statistics (see
+  :mod:`repro.serve.metrics`).
+
+Requests are queued by ``(priority, arrival)`` — verify/estimate traffic
+overtakes heavy simulates — and executed by a worker pool: the PR-5 fork
+pool sharing one :class:`~repro.exec.cache.CompileCache` directory when
+``jobs > 1``, an in-process thread otherwise.  Startup warms the cache
+(:meth:`CompileCache.warm_scan` plus an optional warmup-spec replay) and
+``SIGTERM`` drains gracefully: admission closes, queued and in-flight work
+finishes (pending submits still get their responses), then the daemon
+exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import signal
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.bench.formatting import json_safe
+from repro.exceptions import ReproError, ServeError, WorkloadError
+from repro.exec.cache import CompileCache
+from repro.exec.keys import CODE_VERSION
+from repro.exec.workload import (
+    WorkloadSpec,
+    _init_worker,
+    _worker_execute,
+    execute_with_stats,
+    plan_workload,
+    zero_cache_stats,
+)
+from repro.serve.admission import (
+    DEFAULT_MAX_BATCH,
+    AdmissionController,
+    AdmissionPolicy,
+    priority_for,
+)
+from repro.serve.metrics import ServeMetrics
+from repro.serve.queue import (
+    DEFAULT_MAX_QUEUED,
+    DrainingError,
+    Job,
+    JobQueue,
+    OversizeError,
+    QueueFullError,
+)
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Reject-counter label for each admission error type.
+_REJECT_REASON = {
+    QueueFullError: "queue_full",
+    DrainingError: "draining",
+    OversizeError: "oversize",
+}
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``python -m repro serve`` exposes as flags."""
+
+    host: str = "127.0.0.1"
+    port: int = 8752
+    #: Serve on this unix socket instead of TCP when set.
+    unix_socket: Optional[str] = None
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    salt: str = CODE_VERSION
+    max_queued: int = DEFAULT_MAX_QUEUED
+    max_batch: int = DEFAULT_MAX_BATCH
+    #: Warmup workload replayed through the pool before serving: a spec
+    #: path, a raw dict, or a parsed :class:`WorkloadSpec`.
+    warmup: Optional[Union[str, Dict[str, object], WorkloadSpec]] = None
+    #: Pre-load the newest on-disk cache entries at startup.
+    warm_scan: bool = True
+    #: Upper bound on the SIGTERM drain (seconds).
+    drain_grace: float = 60.0
+
+
+class WorkerPool:
+    """Executes raw workload requests for the daemon.
+
+    ``jobs > 1`` reuses the batch runner's ``fork`` pool — the same
+    ``_init_worker`` / ``_worker_execute`` functions, each worker holding a
+    :class:`CompileCache` on the shared directory — so the daemon and
+    ``python -m repro batch`` exercise identical execution code.  ``jobs=1``
+    (or platforms without ``fork``) runs in-process on a single worker
+    thread with one shared cache.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        salt: str = CODE_VERSION,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.salt = salt
+        self.mode = "thread"
+        self._pool = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._cache: Optional[CompileCache] = None
+        if self.jobs > 1:
+            if self.cache_dir is None:
+                raise ServeError(
+                    "serve with jobs > 1 needs a cache directory "
+                    "(workers share compiled artifacts through it)"
+                )
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-posix platforms
+                self.jobs = 1
+            else:
+                self._pool = context.Pool(
+                    processes=self.jobs,
+                    initializer=_init_worker,
+                    initargs=(self.cache_dir, salt),
+                )
+                self.mode = "fork"
+        if self._pool is None:
+            self.jobs = 1
+            self._cache = CompileCache(self.cache_dir, salt=salt)
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve"
+            )
+
+    def warm(self, limit: Optional[int] = None) -> Dict[str, int]:
+        """Scan the on-disk store so the first requests start warm.
+
+        Thread mode warms the serving cache's own memo; fork mode scans
+        through a parent-side cache, which faults the mmap'd archives into
+        the OS page cache that the forked workers share (their per-process
+        memos still fill on first use).
+        """
+        if self.mode == "thread":
+            assert self._cache is not None
+            return self._cache.warm_scan(limit)
+        scratch = CompileCache(self.cache_dir, salt=self.salt)
+        return scratch.warm_scan(limit)
+
+    async def execute(self, index: int, raw: Dict[str, object]) -> Dict[str, object]:
+        """One request through a worker; returns ``{"row", "cache_stats"}``."""
+        loop = asyncio.get_running_loop()
+        if self.mode == "fork":
+            future: "asyncio.Future" = loop.create_future()
+
+            def _deliver(result):
+                loop.call_soon_threadsafe(
+                    lambda: future.done() or future.set_result(result)
+                )
+
+            def _fail(error):
+                loop.call_soon_threadsafe(
+                    lambda: future.done() or future.set_exception(error)
+                )
+
+            self._pool.apply_async(
+                _worker_execute,
+                ((int(index), dict(raw)),),
+                callback=_deliver,
+                error_callback=_fail,
+            )
+            return await future
+        return await loop.run_in_executor(
+            self._executor, execute_with_stats, dict(raw), int(index), self._cache
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+class ServeDaemon:
+    """The daemon: queue + admission + worker pool + HTTP front end."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.queue = JobQueue(self.config.max_queued)
+        self.metrics = ServeMetrics()
+        self.admission = AdmissionController(
+            self.queue,
+            AdmissionPolicy(
+                max_queued=self.config.max_queued, max_batch=self.config.max_batch
+            ),
+        )
+        self.pool: Optional[WorkerPool] = None
+        self.address: Optional[str] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._consumers: List["asyncio.Task"] = []
+        self._connections: Set["asyncio.Task"] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> str:
+        """Warm the cache, replay the warmup spec, bind, begin serving."""
+        config = self.config
+        self.pool = WorkerPool(config.jobs, config.cache_dir, config.salt)
+        if config.warm_scan and config.cache_dir is not None:
+            self.metrics.warm["scan"] = self.pool.warm()
+        if config.warmup is not None:
+            await self._run_warmup(self._load_warmup(config.warmup))
+        self._consumers = [
+            asyncio.get_running_loop().create_task(self._consume())
+            for _ in range(self.pool.jobs)
+        ]
+        if config.unix_socket is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=config.unix_socket
+            )
+            self.address = f"unix:{config.unix_socket}"
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, host=config.host, port=config.port
+            )
+            host, port = self._server.sockets[0].getsockname()[:2]
+            self.address = f"http://{host}:{port}"
+        return self.address
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish every queued and in-flight row.
+
+        Admission closes first (submits get 503), the queue is closed so
+        consumers exit once the backlog is done, pending submit handlers
+        write their responses, and only then do the listener and the pool
+        shut down.
+        """
+        self.admission.begin_drain()
+        self.queue.close()
+        grace = self.config.drain_grace
+        if self._consumers:
+            _, pending = await asyncio.wait(self._consumers, timeout=grace)
+            for task in pending:  # pragma: no cover - pathological hang
+                task.cancel()
+        if self._connections:
+            await asyncio.wait(self._connections, timeout=grace)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self.pool is not None:
+            self.pool.close()
+
+    @staticmethod
+    def _load_warmup(warmup) -> WorkloadSpec:
+        if isinstance(warmup, WorkloadSpec):
+            return warmup
+        if isinstance(warmup, (dict, list)):
+            return WorkloadSpec.from_dict(warmup)
+        return WorkloadSpec.from_json(Path(warmup))
+
+    async def _run_warmup(self, spec: WorkloadSpec) -> None:
+        """Replay the warmup spec through the pool before accepting traffic.
+
+        Cache deltas fold into the serving counters (keeping ``/metrics``
+        equal to the sum of the workers' real :class:`CacheStats`); row
+        outcomes are recorded under ``warm.warmup`` only, so request
+        latency histograms describe served traffic exclusively.
+        """
+        results = await asyncio.gather(
+            *(
+                self.pool.execute(index, request.to_dict())
+                for index, request in enumerate(spec.requests)
+            )
+        )
+        ok = 0
+        for item in results:
+            self.metrics.record_cache_delta(item.get("cache_stats"))
+            if item["row"].get("ok"):
+                ok += 1
+        self.metrics.warm["warmup"] = {"rows": len(results), "ok": ok}
+
+    # ------------------------------------------------------------------
+    # Consumers
+    # ------------------------------------------------------------------
+    async def _consume(self) -> None:
+        while True:
+            job = await self.queue.get()
+            if job is None:  # queue closed and empty: drain complete
+                return
+            self.metrics.record_queue_wait(time.monotonic() - job.enqueued_at)
+            self.metrics.in_flight += 1
+            try:
+                result = await self.pool.execute(job.index, job.raw)
+            except Exception as error:  # pool infrastructure failure
+                result = {
+                    "row": {
+                        "index": job.index,
+                        "ok": False,
+                        "error": f"{type(error).__name__}: {error}",
+                    },
+                    "cache_stats": zero_cache_stats(),
+                }
+            finally:
+                self.metrics.in_flight -= 1
+            row = result["row"]
+            self.metrics.record_cache_delta(result.get("cache_stats"))
+            self.metrics.record_request(
+                str(row.get("kind", "unknown")),
+                float(row.get("seconds", 0.0) or 0.0),
+                ok=bool(row.get("ok")),
+            )
+            if not job.future.done():
+                job.future.set_result(row)
+
+    # ------------------------------------------------------------------
+    # HTTP front end
+    # ------------------------------------------------------------------
+    async def _handle_client(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=30.0)
+            if not request_line:
+                return
+            parts = request_line.decode("latin-1").strip().split()
+            if len(parts) != 3:
+                await self._respond(writer, 400, {"error": "malformed request line"})
+                return
+            method, target, _ = parts
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length") or 0)
+            body = await reader.readexactly(length) if length else b""
+            status, payload = await self._route(method.upper(), target.split("?")[0], body)
+            await self._respond(writer, status, payload)
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError, ConnectionError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "healthz is GET-only"}
+            return 200, self._health_payload()
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "metrics is GET-only"}
+            return 200, self.metrics.snapshot(
+                queue_depth=self.queue.depth,
+                draining=self.admission.draining,
+                jobs=self.pool.jobs if self.pool is not None else 0,
+            )
+        if path == "/v1/workload":
+            if method != "POST":
+                return 405, {"error": "submit workloads with POST /v1/workload"}
+            return await self._submit(body)
+        return 404, {
+            "error": f"unknown path {path!r}",
+            "paths": ["POST /v1/workload", "GET /metrics", "GET /healthz"],
+        }
+
+    def _health_payload(self) -> Dict[str, object]:
+        return {
+            "status": "draining" if self.admission.draining else "ok",
+            "queue_depth": self.queue.depth,
+            "in_flight": self.metrics.in_flight,
+            "jobs": self.pool.jobs if self.pool is not None else 0,
+        }
+
+    async def _submit(self, body: bytes) -> Tuple[int, Dict[str, object]]:
+        try:
+            raw = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            self.metrics.record_rejected("bad_request")
+            return 400, {"error": f"body is not valid JSON: {error}"}
+        if isinstance(raw, list):  # bare-list shorthand, like WorkloadSpec
+            raw = {"requests": raw}
+        if not isinstance(raw, dict) or not isinstance(raw.get("requests"), list):
+            self.metrics.record_rejected("bad_request")
+            return 400, {"error": 'a submit needs a "requests" list'}
+        try:
+            cleaned: List[Dict[str, object]] = []
+            priorities: List[int] = []
+            for item in raw["requests"]:
+                if not isinstance(item, dict):
+                    raise ServeError(
+                        f"every request must be an object, got {type(item).__name__}"
+                    )
+                priorities.append(priority_for(item))
+                cleaned.append({k: v for k, v in item.items() if k != "priority"})
+            # Full spec validation up front: a malformed request rejects the
+            # submit with a 400 naming it, before anything is queued.
+            spec = WorkloadSpec.from_dict({"requests": cleaned})
+        except (WorkloadError, ServeError) as error:
+            self.metrics.record_rejected("bad_request")
+            return 400, {"error": f"{type(error).__name__}: {error}"}
+        try:
+            plan = plan_workload(spec, salt=self.config.salt)
+        except ReproError:  # e.g. "auto" resolution failed; workers will report
+            plan = None
+        start = time.perf_counter()
+        try:
+            jobs = self.admission.admit(
+                [request.to_dict() for request in spec.requests], priorities
+            )
+        except ServeError as error:
+            self.metrics.record_rejected(_REJECT_REASON.get(type(error), "bad_request"))
+            return error.status, {"error": str(error), "rejected": len(spec.requests)}
+        self.metrics.record_accepted(len(jobs))
+        rows = await asyncio.gather(*(job.future for job in jobs))
+        payload: Dict[str, object] = {
+            "ok": all(row.get("ok") for row in rows),
+            "rows": list(rows),
+            "seconds": round(time.perf_counter() - start, 6),
+        }
+        if plan is not None:
+            payload["unique_compiles"] = len(plan.compiles)
+            payload["dedup_savings"] = plan.dedup_savings
+        return 200, payload
+
+    @staticmethod
+    async def _respond(writer, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(json_safe(payload), ensure_ascii=False).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# CLI entry point
+# ----------------------------------------------------------------------
+async def _amain(config: ServeConfig) -> int:
+    daemon = ServeDaemon(config)
+    address = await daemon.start()
+    print(f"serving on {address}", flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - windows
+            signal.signal(signum, lambda *_: stop.set())
+    await stop.wait()
+    print("drain: finishing queued and in-flight work...", file=sys.stderr, flush=True)
+    await daemon.drain()
+    print("drained cleanly", file=sys.stderr, flush=True)
+    return 0
+
+
+def run_daemon(config: Optional[ServeConfig] = None) -> int:
+    """Run the daemon until SIGTERM/SIGINT; returns the exit code."""
+    return asyncio.run(_amain(config or ServeConfig()))

@@ -332,6 +332,76 @@ def test_memo_only_cache_without_directory():
 
 
 # ----------------------------------------------------------------------
+# Startup warming: warm_scan
+# ----------------------------------------------------------------------
+def test_warm_scan_promotes_disk_entries_into_memo(tmp_path):
+    writer = CompileCache(tmp_path)
+    keys = [lowered_key("mct", 3, k) for k in (2, 3, 4)]
+    for k, key in zip((2, 3, 4), keys):
+        writer.put(key, lower_to_g_gates(synthesize_mct(3, k).circuit).to_table())
+
+    cache = CompileCache(tmp_path)  # fresh process boundary: memo is cold
+    summary = cache.warm_scan()
+    assert summary["scanned"] == 3
+    assert summary["warmed"] == 3
+    assert summary["dropped"] == 0
+    assert summary["bytes"] > 0
+    assert cache.stats.disk_hits == 3
+    for key in keys:
+        assert cache.get(key).source == "memo"  # no further disk traffic
+    assert cache.stats.memo_hits == 3
+
+
+def test_warm_scan_respects_limit_and_prefers_newest(tmp_path):
+    import os
+    import time as time_module
+
+    small = lower_to_g_gates(synthesize_mct(3, 2).circuit).to_table()
+    writer = CompileCache(tmp_path)
+    now = time_module.time()
+    for i, key in enumerate(["aa" * 8, "bb" * 8, "cc" * 8]):
+        writer.put(key, small)
+        npz_path, _ = writer._paths(key)
+        os.utime(npz_path, (now - 100 + i, now - 100 + i))  # cc newest
+
+    cache = CompileCache(tmp_path)
+    summary = cache.warm_scan(limit=1)
+    assert summary == {
+        "scanned": 1,
+        "warmed": 1,
+        "dropped": 0,
+        "bytes": summary["bytes"],
+    }
+    assert cache.get("cc" * 8).source == "memo"
+    assert cache.get("aa" * 8).source == "disk"  # untouched by the scan
+
+
+def test_warm_scan_drops_corrupt_and_foreign_entries(tmp_path):
+    writer = CompileCache(tmp_path)
+    good = lowered_key("mct", 3, 2)
+    writer.put(good, lower_to_g_gates(synthesize_mct(3, 2).circuit).to_table())
+    bad = "dd" * 8
+    writer.put(bad, lower_to_g_gates(synthesize_mct(3, 3).circuit).to_table())
+    bad_npz, _ = writer._paths(bad)
+    bad_npz.write_bytes(b"not an npz archive")
+    # A foreign (non-hex-key) file dumped into the store directory.
+    (tmp_path / "README.npz").write_bytes(b"hello")
+
+    cache = CompileCache(tmp_path)
+    summary = cache.warm_scan()
+    assert summary["scanned"] == 3
+    assert summary["warmed"] == 1
+    assert summary["dropped"] == 2
+    assert cache.get(good).source == "memo"
+    assert cache.get(bad) is None  # corrupt archive was purged
+
+
+def test_warm_scan_is_a_no_op_without_a_directory():
+    cache = CompileCache(None)
+    assert cache.warm_scan() == {"scanned": 0, "warmed": 0, "dropped": 0, "bytes": 0}
+
+
+# ----------------------------------------------------------------------
 # Wiring: synthesize / lower_to_g_gates / compile_lowered
 # ----------------------------------------------------------------------
 def test_registry_synthesize_cache_round_trips_result(tmp_path):

@@ -1,0 +1,434 @@
+"""The serve daemon: queue, admission, metrics, and the end-to-end HTTP path."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ServeError
+from repro.serve import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    AdmissionController,
+    AdmissionPolicy,
+    DrainingError,
+    Job,
+    JobQueue,
+    LatencyHistogram,
+    OversizeError,
+    QueueFullError,
+    ServeClient,
+    ServeConfig,
+    ServeDaemon,
+    ServeMetrics,
+    WorkerPool,
+    priority_for,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_async(coroutine):
+    return asyncio.run(coroutine)
+
+
+def make_job(loop, index, priority, raw=None):
+    return Job(
+        index=index,
+        raw=raw or {"kind": "estimate", "strategy": "mct", "d": 3, "k": 4},
+        priority=priority,
+        future=loop.create_future(),
+    )
+
+
+# ----------------------------------------------------------------------
+# JobQueue
+# ----------------------------------------------------------------------
+def test_queue_orders_by_priority_then_arrival():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        queue = JobQueue(max_queued=10)
+        order = [
+            (PRIORITY_LOW, "low-0"),
+            (PRIORITY_HIGH, "high-0"),
+            (PRIORITY_NORMAL, "normal-0"),
+            (PRIORITY_LOW, "low-1"),
+            (PRIORITY_HIGH, "high-1"),
+        ]
+        for index, (priority, _) in enumerate(order):
+            queue.put_nowait(make_job(loop, index, priority))
+        got = [await queue.get() for _ in range(len(order))]
+        return [order[job.index][1] for job in got]
+
+    assert run_async(scenario()) == ["high-0", "high-1", "normal-0", "low-0", "low-1"]
+
+
+def test_queue_rejects_past_bound_and_batches_atomically():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        queue = JobQueue(max_queued=2)
+        queue.put_nowait(make_job(loop, 0, PRIORITY_LOW))
+        queue.put_nowait(make_job(loop, 1, PRIORITY_LOW))
+        with pytest.raises(QueueFullError):
+            queue.put_nowait(make_job(loop, 2, PRIORITY_HIGH))
+        assert queue.depth == 2
+        # put_batch is all-or-nothing: one free slot cannot take two jobs.
+        await queue.get()
+        with pytest.raises(QueueFullError):
+            queue.put_batch([make_job(loop, 3, PRIORITY_LOW), make_job(loop, 4, PRIORITY_LOW)])
+        assert queue.depth == 1  # nothing from the failed batch leaked in
+
+    run_async(scenario())
+
+
+def test_queue_close_finishes_backlog_then_signals_none():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        queue = JobQueue(max_queued=4)
+        queue.put_nowait(make_job(loop, 0, PRIORITY_LOW))
+        queue.put_nowait(make_job(loop, 1, PRIORITY_HIGH))
+        queue.close()
+        first = await queue.get()
+        second = await queue.get()
+        third = await queue.get()
+        assert (first.index, second.index) == (1, 0)  # backlog still drains in order
+        assert third is None
+        with pytest.raises(DrainingError):
+            queue.put_nowait(make_job(loop, 2, PRIORITY_LOW))
+
+    run_async(scenario())
+
+
+# ----------------------------------------------------------------------
+# Admission
+# ----------------------------------------------------------------------
+def test_priority_classes():
+    assert priority_for({"kind": "estimate", "strategy": "mct", "d": 3, "k": 4}) == PRIORITY_HIGH
+    assert priority_for({"kind": "simulate", "verify": "smoke"}) == PRIORITY_HIGH
+    assert priority_for({"kind": "synthesize"}) == PRIORITY_NORMAL
+    assert priority_for({"kind": "simulate"}) == PRIORITY_LOW
+    # An explicit override beats the kind-derived class.
+    assert priority_for({"kind": "simulate", "priority": 0}) == PRIORITY_HIGH
+    with pytest.raises(ServeError):
+        priority_for({"kind": "simulate", "priority": "urgent"})
+    with pytest.raises(ServeError):
+        priority_for({"kind": "simulate", "priority": 9})
+
+
+def test_admission_rejections_map_to_http_statuses():
+    async def scenario():
+        queue = JobQueue(max_queued=3)
+        controller = AdmissionController(queue, AdmissionPolicy(max_queued=3, max_batch=2))
+        request = {"kind": "estimate", "strategy": "mct", "d": 3, "k": 4}
+        with pytest.raises(OversizeError) as oversize:
+            controller.admit([request] * 3)
+        assert oversize.value.status == 413
+        jobs = controller.admit([request] * 2)
+        assert [job.priority for job in jobs] == [PRIORITY_HIGH, PRIORITY_HIGH]
+        with pytest.raises(QueueFullError) as full:
+            controller.admit([request] * 2)  # only one slot left
+        assert full.value.status == 429
+        assert queue.depth == 2
+        controller.begin_drain()
+        with pytest.raises(DrainingError) as draining:
+            controller.admit([request])
+        assert draining.value.status == 503
+
+    run_async(scenario())
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+def test_latency_histogram_buckets_are_cumulative():
+    histogram = LatencyHistogram(bounds=(0.01, 0.1, 1.0))
+    for seconds in (0.005, 0.05, 0.5, 5.0):
+        histogram.observe(seconds)
+    payload = histogram.as_dict()
+    assert payload["count"] == 4
+    assert payload["sum_seconds"] == pytest.approx(5.555)
+    assert payload["buckets"] == {"0.01": 1, "0.1": 2, "1": 3, "+Inf": 4}
+
+
+def test_metrics_fold_cache_deltas_into_hit_rate():
+    metrics = ServeMetrics()
+    assert metrics.cache_hit_rate is None
+    metrics.record_cache_delta({"memo_hits": 2, "disk_hits": 1, "misses": 1, "puts": 1})
+    metrics.record_cache_delta({"memo_hits": 1, "evictions": 2})
+    metrics.record_request("simulate", 0.2, ok=True)
+    metrics.record_request("simulate", 0.4, ok=False)
+    metrics.record_rejected("queue_full")
+    snapshot = metrics.snapshot(queue_depth=3, draining=False, jobs=2)
+    assert snapshot["cache"]["memo_hits"] == 3 and snapshot["cache"]["evictions"] == 2
+    assert snapshot["cache"]["hit_rate"] == pytest.approx(4 / 5)
+    assert snapshot["requests"] == {
+        "accepted": 0,
+        "completed": 1,
+        "failed": 1,
+        "rejected": {"queue_full": 1, "draining": 0, "oversize": 0, "bad_request": 0},
+    }
+    assert snapshot["latency"]["simulate"]["count"] == 2
+    assert snapshot["queue_depth"] == 3 and snapshot["jobs"] == 2
+
+
+# ----------------------------------------------------------------------
+# Consumer integration: priorities drive execution order
+# ----------------------------------------------------------------------
+def test_consumer_executes_by_priority_with_single_worker():
+    async def scenario():
+        daemon = ServeDaemon(ServeConfig(jobs=1, max_queued=8))
+        daemon.pool = WorkerPool(jobs=1)
+        completed = []
+        raws = [
+            {"kind": "simulate", "strategy": "mct", "d": 3, "k": 3},
+            {"kind": "synthesize", "strategy": "mct", "d": 3, "k": 3},
+            {"kind": "estimate", "strategy": "mct", "d": 3, "k": 3},
+        ]
+        # Enqueue everything *before* the consumer starts: execution order
+        # is then purely the queue's priority order.
+        jobs = daemon.admission.admit(raws)
+        for job in jobs:
+            job.future.add_done_callback(
+                lambda future: completed.append(future.result()["kind"])
+            )
+        daemon.queue.close()
+        await daemon._consume()
+        rows = [job.future.result() for job in jobs]
+        daemon.pool.close()
+        return completed, rows, daemon.metrics
+
+    completed, rows, metrics = run_async(scenario())
+    assert completed == ["estimate", "synthesize", "simulate"]
+    # Rows keep their submit positions regardless of execution order.
+    assert [row["index"] for row in rows] == [0, 1, 2]
+    assert all(row["ok"] for row in rows)
+    assert metrics.completed == 3 and metrics.failed == 0
+    assert metrics.queue_wait.count == 3
+
+
+def test_worker_pool_needs_cache_dir_for_multiprocess():
+    with pytest.raises(ServeError):
+        WorkerPool(jobs=2, cache_dir=None)
+
+
+# ----------------------------------------------------------------------
+# End-to-end daemon over HTTP
+# ----------------------------------------------------------------------
+MIXED_SPEC = {
+    "requests": [
+        {"kind": "synthesize", "strategy": "mct", "d": 3, "k": 4},
+        {"kind": "simulate", "strategy": "mct", "d": 3, "k": 4,
+         "states": [[0, 0, 0, 0, 1], [1, 0, 0, 0, 1]]},
+        {"kind": "estimate", "strategy": "mct", "d": 3, "k": 500},
+    ]
+}
+
+
+class DaemonProcess:
+    """Boot ``python -m repro serve`` on an ephemeral port; kill on exit."""
+
+    def __init__(self, tmp_path: Path, *extra_args: str):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=str(tmp_path),
+        )
+        line = self.process.stdout.readline()
+        if not line.startswith("serving on "):
+            stderr = self.process.stderr.read()
+            raise AssertionError(f"daemon failed to start: {line!r}\n{stderr}")
+        self.address = line.split()[-1]
+        self.client = ServeClient(self.address, timeout=60.0)
+        self.client.wait_ready()
+
+    def sigterm(self, timeout: float = 30.0):
+        self.process.send_signal(signal.SIGTERM)
+        self.process.wait(timeout=timeout)
+        return self.process.returncode, self.process.stderr.read()
+
+    def kill(self):
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=10)
+
+
+@pytest.fixture
+def daemon_factory(tmp_path):
+    booted = []
+
+    def boot(*extra_args: str) -> DaemonProcess:
+        daemon = DaemonProcess(tmp_path, *extra_args)
+        booted.append(daemon)
+        return daemon
+
+    yield boot
+    for daemon in booted:
+        daemon.kill()
+
+
+def test_daemon_end_to_end_mixed_workload_and_drain(tmp_path, daemon_factory):
+    warmup = tmp_path / "warmup.json"
+    warmup.write_text(json.dumps(
+        {"requests": [{"kind": "synthesize", "strategy": "mct", "d": 3, "k": 4}]}
+    ), encoding="utf-8")
+    daemon = daemon_factory("--cache-dir", str(tmp_path / "cache"),
+                            "--warmup", str(warmup))
+    health = daemon.client.healthz()[1]
+    assert health["status"] == "ok" and health["jobs"] == 1
+
+    # Cold submit: the warmup already built the k=4 artifact.
+    status, payload = daemon.client.submit(MIXED_SPEC)
+    assert status == 200 and payload["ok"]
+    rows = payload["rows"]
+    assert [row["index"] for row in rows] == [0, 1, 2]
+    assert rows[1]["outputs"] == ["00000", "10001"]
+    assert rows[0]["cache"] in ("memo", "disk")  # warmed by the startup spec
+    assert payload["unique_compiles"] == 1 and payload["dedup_savings"] == 1
+
+    # A 50-request mixed workload, then the same again fully warm.
+    big = {"requests": [
+        {"kind": ("synthesize", "simulate", "estimate")[i % 3],
+         "strategy": "mct", "d": 3, "k": 3 + (i % 4)}
+        for i in range(50)
+    ]}
+    status, cold = daemon.client.submit(big)
+    assert status == 200 and cold["ok"] and len(cold["rows"]) == 50
+    status, warm = daemon.client.submit(big)
+    assert status == 200 and warm["ok"]
+    assert all(
+        row["cache"] in ("memo", "disk")
+        for row in warm["rows"] if row["kind"] != "estimate"
+    )
+
+    status, metrics = daemon.client.metrics()
+    assert status == 200
+    assert metrics["requests"]["accepted"] == 103
+    assert metrics["requests"]["completed"] == 103
+    assert metrics["requests"]["failed"] == 0
+    for kind in ("synthesize", "simulate", "estimate"):
+        assert metrics["latency"][kind]["count"] > 0
+    # The cache section is the real CompileCache.stats sum (workers' deltas
+    # folded in, warmup included): every compile-bearing request did exactly
+    # one lookup, and only the distinct (strategy, d, k) scenarios missed.
+    cache = metrics["cache"]
+    lookups = cache["memo_hits"] + cache["disk_hits"] + cache["misses"]
+    compile_bearing = 1 + 2 + 2 * (17 + 17)  # warmup + first submit + 2×big
+    assert lookups == compile_bearing
+    assert cache["misses"] == cache["puts"] == 4  # k∈{3,4,5,6}, k=4 warmed
+    assert cache["hit_rate"] == pytest.approx((lookups - 4) / lookups)
+    assert metrics["warm"]["warmup"] == {"rows": 1, "ok": 1}
+    assert metrics["queue_wait"]["count"] == 103
+
+    # SIGTERM while a submit is in flight: the response still arrives
+    # complete (no failed rows) and the daemon exits 0.
+    outcome = {}
+
+    def slow_submit():
+        outcome["response"] = daemon.client.submit(
+            {"requests": [
+                {"kind": "simulate", "strategy": "mct", "d": 3, "k": 6},
+                {"kind": "synthesize", "strategy": "mct", "d": 3, "k": 7},
+            ]}
+        )
+
+    thread = threading.Thread(target=slow_submit)
+    thread.start()
+    time.sleep(0.15)
+    code, stderr = daemon.sigterm()
+    thread.join(timeout=30)
+    assert code == 0 and "drained cleanly" in stderr
+    status, payload = outcome["response"]
+    assert status == 200 and payload["ok"]
+    assert all(row["ok"] for row in payload["rows"])
+
+
+def test_daemon_rejects_past_queue_bound_and_bad_requests(daemon_factory):
+    daemon = daemon_factory("--max-queued", "4", "--max-batch", "8")
+
+    # More requests than the queue bound: rejected outright with 429 —
+    # never blocking, never partially admitted.
+    oversized = {"requests": [
+        {"kind": "estimate", "strategy": "mct", "d": 3, "k": 10 + i}
+        for i in range(5)
+    ]}
+    status, payload = daemon.client.submit(oversized)
+    assert status == 429 and "queue full" in payload["error"]
+
+    status, payload = daemon.client.submit(
+        {"requests": oversized["requests"] * 2}  # 10 > max_batch
+    )
+    assert status == 413
+
+    status, payload = daemon.client.submit({"requests": [{"kind": "mystery"}]})
+    assert status == 400 and "mystery" in payload["error"]
+    status, payload = daemon.client.request("POST", "/v1/workload", None)
+    assert status == 400
+    status, _ = daemon.client.request("GET", "/no-such-path")
+    assert status == 404
+    status, _ = daemon.client.request("POST", "/metrics", {"x": 1})
+    assert status == 405
+
+    # A still-valid submit goes through afterwards, and every rejection is
+    # on the counters.
+    status, payload = daemon.client.submit({"requests": oversized["requests"][:2]})
+    assert status == 200 and payload["ok"]
+    metrics = daemon.client.metrics()[1]
+    assert metrics["requests"]["rejected"]["queue_full"] == 1
+    assert metrics["requests"]["rejected"]["oversize"] == 1
+    assert metrics["requests"]["rejected"]["bad_request"] == 2
+    assert metrics["requests"]["accepted"] == 2
+    code, stderr = daemon.sigterm()
+    assert code == 0 and "drained cleanly" in stderr
+
+
+def test_daemon_multiprocess_pool_shares_cache_dir(tmp_path, daemon_factory):
+    daemon = daemon_factory("--jobs", "2", "--cache-dir", str(tmp_path / "cache"))
+    assert daemon.client.healthz()[1]["jobs"] == 2
+    spec = {"requests": [
+        {"kind": "synthesize", "strategy": "mct", "d": 3, "k": 4},
+        {"kind": "simulate", "strategy": "mct", "d": 3, "k": 4,
+         "states": [[0, 0, 0, 0, 1]]},
+        {"kind": "synthesize", "strategy": "mct", "d": 3, "k": 5},
+    ]}
+    status, cold = daemon.client.submit(spec)
+    assert status == 200 and cold["ok"]
+    assert cold["rows"][1]["outputs"] == ["00000"]
+    status, warm = daemon.client.submit(spec)
+    assert status == 200 and warm["ok"]
+    assert all(row["cache"] in ("memo", "disk") for row in warm["rows"])
+    metrics = daemon.client.metrics()[1]
+    assert metrics["jobs"] == 2
+    assert metrics["cache"]["puts"] >= 2  # both scenarios built at least once
+    assert metrics["cache"]["memo_hits"] + metrics["cache"]["disk_hits"] >= 3
+    code, stderr = daemon.sigterm()
+    assert code == 0 and "drained cleanly" in stderr
+
+
+def test_daemon_unix_socket_transport(tmp_path, daemon_factory):
+    socket_path = str(tmp_path / "serve.sock")
+    daemon = daemon_factory("--unix-socket", socket_path)
+    assert daemon.address == f"unix:{socket_path}"
+    client = ServeClient(daemon.address)
+    assert client.healthz()[0] == 200
+    status, payload = client.submit({"requests": [
+        {"kind": "estimate", "strategy": "mct", "d": 3, "k": 20}]})
+    assert status == 200 and payload["ok"]
+    code, stderr = daemon.sigterm()
+    assert code == 0 and "drained cleanly" in stderr

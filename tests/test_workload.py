@@ -189,6 +189,101 @@ def test_lower_cache_rejects_macro_stage_key(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Regressions: pooled-path index threading, poisoned requests, honest stats
+# ----------------------------------------------------------------------
+def test_pooled_rows_carry_their_real_request_index(tmp_path):
+    """The pool used to rebuild every request as index 0."""
+    spec = WorkloadSpec.from_dict({"requests": [
+        {"kind": "synthesize", "strategy": "mct", "d": 3, "k": 3},
+        {"kind": "estimate", "strategy": "mct", "d": 3, "k": 100},
+        {"kind": "synthesize", "strategy": "no-such-strategy", "d": 3, "k": 4},
+        {"kind": "synthesize", "strategy": "mct", "d": 3, "k": 4},
+    ]})
+    report = run_workload(spec, jobs=2, cache_dir=tmp_path / "cache")
+    assert [row["index"] for row in report.rows] == [0, 1, 2, 3]
+    assert report.rows[2]["ok"] is False and "no-such-strategy" in report.rows[2]["error"]
+    assert all(report.rows[i]["ok"] for i in (0, 1, 3))
+    # Serial rows are indexed identically.
+    serial = run_workload(spec, jobs=1, cache_dir=tmp_path / "serial")
+    assert [row["index"] for row in serial.rows] == [0, 1, 2, 3]
+
+
+def test_worker_execute_reports_parse_failures_at_the_real_index():
+    """A raw dict the parser rejects becomes an ok=False row naming the real
+    request — it used to raise out of the pool task (killing the workload)
+    with any error message blaming request 0."""
+    from repro.exec.workload import _worker_execute
+
+    result = _worker_execute((5, {"kind": "synthesize", "d": 3, "k": 4}))
+    row = result["row"]
+    assert row["index"] == 5 and row["ok"] is False
+    assert "request 5" in row["error"] and "missing field" in row["error"]
+
+
+def test_poisoned_request_does_not_kill_the_workload(tmp_path, monkeypatch):
+    """Non-ReproError exceptions (bad backend objects, numpy errors) must
+    become ok=False rows, not abort pool.map for every sibling row."""
+    from repro.synth import registry
+
+    def poisoned(name, dim, k):
+        raise ValueError(f"poisoned estimate for {name}")
+
+    monkeypatch.setattr(registry, "estimate", poisoned)
+    spec = WorkloadSpec.from_dict({"requests": [
+        {"kind": "synthesize", "strategy": "mct", "d": 3, "k": 3},
+        {"kind": "estimate", "strategy": "mct", "d": 3, "k": 100},
+        {"kind": "synthesize", "strategy": "mct", "d": 3, "k": 4},
+    ]})
+    serial = run_workload(spec, jobs=1, cache_dir=tmp_path / "serial")
+    assert not serial.ok
+    assert serial.rows[1]["ok"] is False
+    assert serial.rows[1]["error"].startswith("ValueError: poisoned")
+    assert "ValueError" in serial.rows[1]["traceback"]  # class preserved
+    assert serial.rows[0]["ok"] and serial.rows[2]["ok"]
+    # The fork pool inherits the monkeypatch; before the broad catch the
+    # ValueError escaped pool.map and run_workload itself raised.
+    pooled = run_workload(spec, jobs=2, cache_dir=tmp_path / "pooled")
+    assert not pooled.ok
+    assert pooled.rows[1]["ok"] is False
+    assert pooled.rows[1]["error"].startswith("ValueError: poisoned")
+    assert pooled.rows[0]["ok"] and pooled.rows[2]["ok"]
+
+
+def test_pooled_cache_stats_are_the_sum_of_worker_counters(tmp_path):
+    """Pooled stats come from the workers' real CacheStats deltas.
+
+    The old provenance reconstruction counted only rows that carried a
+    ``"cache"`` source string: a request whose compile *failed* still did a
+    real cache lookup (a miss) that never appeared, and evictions were
+    hardcoded to zero."""
+    spec = WorkloadSpec.from_dict(SPEC)
+    serial = run_workload(spec, jobs=1, cache_dir=tmp_path / "serial")
+    pooled = run_workload(spec, jobs=2, cache_dir=tmp_path / "pooled")
+    # Same honest totals as a serial run over a fresh directory: the
+    # memo/disk split differs per worker, the sums cannot.
+    assert pooled.cache_stats["misses"] == serial.cache_stats["misses"]
+    assert pooled.cache_stats["puts"] == serial.cache_stats["puts"]
+    assert (
+        pooled.cache_stats["memo_hits"] + pooled.cache_stats["disk_hits"]
+        == serial.cache_stats["memo_hits"] + serial.cache_stats["disk_hits"]
+    )
+    assert pooled.cache_stats["evictions"] == serial.cache_stats["evictions"] == 0
+
+    # A failing compile is a lookup without a put: visible only in the
+    # honest counters (the provenance strings never mentioned it).
+    failing = WorkloadSpec.from_dict({"requests": [
+        {"kind": "synthesize", "strategy": "no-such-strategy", "d": 3, "k": 4},
+        {"kind": "synthesize", "strategy": "mct", "d": 3, "k": 3},
+    ]})
+    report = run_workload(failing, jobs=2, cache_dir=tmp_path / "failing")
+    # no-such-strategy: one miss in the compile phase and one in the
+    # execute phase; mct: one miss (compile) + one hit (execute).
+    assert report.cache_stats["misses"] == 3
+    assert report.cache_stats["puts"] == 1
+    assert report.cache_stats["memo_hits"] + report.cache_stats["disk_hits"] == 1
+
+
+# ----------------------------------------------------------------------
 # CLI: batch subcommand
 # ----------------------------------------------------------------------
 def test_cli_batch_cold_then_warm(tmp_path, capsys):
